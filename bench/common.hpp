@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Shared experiment runners for the figure-reproduction benchmarks.
+ *
+ * Each bench binary regenerates one table/figure from the paper's
+ * evaluation (§5): it sweeps the paper's parameter, runs the simulated
+ * testbed in the relevant server configurations, and reports the same
+ * series the paper plots, as google-benchmark counters plus a printed
+ * row table.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "sim/stats.hpp"
+#include "workloads/netperf.hpp"
+
+namespace octo::bench {
+
+using core::ServerMode;
+using core::Testbed;
+using core::TestbedConfig;
+using sim::Tick;
+
+/** Standard measurement window used by the throughput benches. */
+constexpr Tick kWarmup = sim::fromMs(5);
+constexpr Tick kWindow = sim::fromMs(25);
+
+/** Snapshot-delta probe over a measurement window. */
+class Probe
+{
+  public:
+    Probe(Testbed& tb, const std::vector<topo::Core*>& cores,
+          std::uint64_t app_bytes0)
+        : tb_(tb), cores_(cores), bytes0_(app_bytes0),
+          dram0_(tb.server().dramBytesTotal()),
+          qpi0_(tb.server().qpiBytesTotal()), t0_(tb.sim().now())
+    {
+        for (auto* c : cores_)
+            busy0_.push_back(c->busyTime());
+    }
+
+    /** Application throughput in Gb/s given the current byte count. */
+    double
+    gbps(std::uint64_t app_bytes) const
+    {
+        return sim::toGbps(app_bytes - bytes0_, elapsed());
+    }
+
+    /** Server memory bandwidth over the window, Gb/s. */
+    double
+    membwGbps() const
+    {
+        return sim::toGbps(tb_.server().dramBytesTotal() - dram0_,
+                           elapsed());
+    }
+
+    /** Server interconnect traffic over the window, Gb/s. */
+    double
+    qpiGbps() const
+    {
+        return sim::toGbps(tb_.server().qpiBytesTotal() - qpi0_,
+                           elapsed());
+    }
+
+    /** Aggregate busy fraction of the probed cores, in cores. */
+    double
+    cpuCores() const
+    {
+        Tick busy = 0;
+        for (std::size_t i = 0; i < cores_.size(); ++i)
+            busy += cores_[i]->busyTime() - busy0_[i];
+        return static_cast<double>(busy) / elapsed();
+    }
+
+    Tick elapsed() const { return tb_.sim().now() - t0_; }
+
+  private:
+    Testbed& tb_;
+    std::vector<topo::Core*> cores_;
+    std::uint64_t bytes0_;
+    std::uint64_t dram0_;
+    std::uint64_t qpi0_;
+    Tick t0_;
+    std::vector<Tick> busy0_;
+};
+
+/** Result triple reported by the netperf stream figures. */
+struct StreamResult
+{
+    double gbps = 0;
+    double membwGbps = 0;
+    double cpuCores = 0;
+};
+
+/**
+ * Single-core netperf TCP_STREAM experiment (Figs. 6 and 7): app thread
+ * and NIC interrupts share one server core.
+ */
+inline StreamResult
+runTcpStream(ServerMode mode, std::uint64_t msg_bytes,
+             workloads::StreamDir dir, Tick warmup = kWarmup,
+             Tick window = kWindow)
+{
+    TestbedConfig cfg;
+    cfg.mode = mode;
+    Testbed tb(cfg);
+    auto server_t = tb.serverThread(tb.workNode(), 0);
+    auto client_t = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, server_t, client_t, msg_bytes,
+                                    dir);
+    stream.start();
+
+    tb.runFor(warmup);
+    Probe probe(tb, {&server_t.core()}, stream.bytesDelivered());
+    tb.runFor(window);
+    return StreamResult{probe.gbps(stream.bytesDelivered()),
+                        probe.membwGbps(), probe.cpuCores()};
+}
+
+/** Printf a header once per figure. */
+inline void
+printHeader(const std::string& title, const std::string& cols)
+{
+    std::printf("\n### %s\n%s\n", title.c_str(), cols.c_str());
+}
+
+} // namespace octo::bench

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 6: single-core TCP_STREAM receive — throughput, memory
+ * bandwidth, and CPU utilization vs netperf message size, for
+ * ioct/local vs remote.
+ *
+ * Paper shape: ioct/local always ahead; ~1.08x at small sizes growing
+ * to ~1.25-1.26x past the MTU; remote memory bandwidth ~3x its network
+ * throughput (no DDIO), ioct/local near zero.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace octo;
+using namespace octo::bench;
+
+namespace {
+
+const std::uint64_t kSizes[] = {64, 256, 1024, 4096, 16384, 65536};
+
+void
+Fig06(benchmark::State& state)
+{
+    const auto mode = static_cast<ServerMode>(state.range(0));
+    const std::uint64_t msg = kSizes[state.range(1)];
+    StreamResult r{};
+    for (auto _ : state)
+        r = runTcpStream(mode, msg, workloads::StreamDir::ServerRx);
+    state.counters["tput_Gbps"] = r.gbps;
+    state.counters["membw_Gbps"] = r.membwGbps;
+    state.counters["cpu_cores"] = r.cpuCores;
+    state.SetLabel(core::modeName(mode));
+}
+
+void
+registerAll()
+{
+    for (auto mode : {ServerMode::Local, ServerMode::Remote,
+                      ServerMode::Ioctopus}) {
+        for (std::size_t i = 0; i < std::size(kSizes); ++i) {
+            const std::string name = std::string("fig06/rx/") +
+                core::modeName(mode) + "/" +
+                std::to_string(kSizes[i]) + "B";
+            benchmark::RegisterBenchmark(name.c_str(), &Fig06)
+                ->Args({static_cast<int>(mode), static_cast<int>(i)})
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    registerAll();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    // Paper-style series table.
+    printHeader("Fig. 6 — single-core TCP Rx vs message size",
+                "msg      local[Gb/s]  remote[Gb/s]  ioct[Gb/s]  "
+                "ioct/remote  remote membw/tput");
+    for (std::uint64_t msg : kSizes) {
+        const auto l =
+            runTcpStream(ServerMode::Local, msg,
+                         workloads::StreamDir::ServerRx);
+        const auto r =
+            runTcpStream(ServerMode::Remote, msg,
+                         workloads::StreamDir::ServerRx);
+        const auto o =
+            runTcpStream(ServerMode::Ioctopus, msg,
+                         workloads::StreamDir::ServerRx);
+        std::printf("%-8llu %11.2f %13.2f %11.2f %12.2f %18.2f\n",
+                    static_cast<unsigned long long>(msg), l.gbps, r.gbps,
+                    o.gbps, o.gbps / r.gbps,
+                    r.membwGbps / r.gbps);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

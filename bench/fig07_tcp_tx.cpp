@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Figure 7: single-core TCP_STREAM transmit (TSO enabled) — throughput,
+ * memory bandwidth, CPU vs message size.
+ *
+ * Paper shape: local and remote throughput are comparable (~47 Gb/s at
+ * 64 KB; TSO makes copies dominate and DMA reads are serviced by
+ * LLC-probing without invalidations), but remote's memory bandwidth
+ * roughly equals its network throughput while ioct/local stays near
+ * zero.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+
+using namespace octo;
+using namespace octo::bench;
+
+namespace {
+
+const std::uint64_t kSizes[] = {64, 256, 1024, 4096, 16384, 65536};
+
+void
+Fig07(benchmark::State& state)
+{
+    const auto mode = static_cast<ServerMode>(state.range(0));
+    const std::uint64_t msg = kSizes[state.range(1)];
+    StreamResult r{};
+    for (auto _ : state)
+        r = runTcpStream(mode, msg, workloads::StreamDir::ServerTx);
+    state.counters["tput_Gbps"] = r.gbps;
+    state.counters["membw_Gbps"] = r.membwGbps;
+    state.counters["cpu_cores"] = r.cpuCores;
+    state.SetLabel(core::modeName(mode));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (auto mode : {ServerMode::Local, ServerMode::Remote,
+                      ServerMode::Ioctopus}) {
+        for (std::size_t i = 0; i < std::size(kSizes); ++i) {
+            const std::string name = std::string("fig07/tx/") +
+                core::modeName(mode) + "/" +
+                std::to_string(kSizes[i]) + "B";
+            benchmark::RegisterBenchmark(name.c_str(), &Fig07)
+                ->Args({static_cast<int>(mode), static_cast<int>(i)})
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    printHeader("Fig. 7 — single-core TCP Tx (TSO) vs message size",
+                "msg      local[Gb/s]  remote[Gb/s]  ioct[Gb/s]  "
+                "remote/local  remote membw/tput");
+    for (std::uint64_t msg : kSizes) {
+        const auto l = runTcpStream(ServerMode::Local, msg,
+                                    workloads::StreamDir::ServerTx);
+        const auto r = runTcpStream(ServerMode::Remote, msg,
+                                    workloads::StreamDir::ServerTx);
+        const auto o = runTcpStream(ServerMode::Ioctopus, msg,
+                                    workloads::StreamDir::ServerTx);
+        std::printf("%-8llu %11.2f %13.2f %11.2f %13.2f %18.2f\n",
+                    static_cast<unsigned long long>(msg), l.gbps, r.gbps,
+                    o.gbps, r.gbps / l.gbps, r.membwGbps / r.gbps);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 10: memcached throughput and server memory bandwidth as the
+ * SET ratio grows from 0% to 100% (14 memslap clients, 256 B keys,
+ * 512 KB values).
+ *
+ * Paper shape: ioct/local leads remote by ~1.10x at 0% SETs growing to
+ * ~1.16x at 100%, because SETs drive receive traffic that suffers
+ * NUDMA; the value store exceeds the LLC, so even ioct/local shows
+ * memory traffic.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "workloads/kvstore.hpp"
+
+using namespace octo;
+using namespace octo::bench;
+
+namespace {
+
+const int kSetPct[] = {0, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+
+struct KvResult
+{
+    double ktps;
+    double membwGBps;
+};
+
+KvResult
+runKv(ServerMode mode, int set_pct)
+{
+    TestbedConfig cfg;
+    cfg.mode = mode;
+    Testbed tb(cfg);
+
+    workloads::KvConfig kv;
+    kv.setRatio = set_pct / 100.0;
+    workloads::KvWorkload wl(tb, tb.workNode(), kv);
+    wl.start();
+
+    tb.runFor(sim::fromMs(10));
+    const std::uint64_t t0 = wl.transactions();
+    const std::uint64_t d0 = tb.server().dramBytesTotal();
+    const sim::Tick window = sim::fromMs(40);
+    tb.runFor(window);
+    const double secs = sim::toSec(window);
+    return KvResult{(wl.transactions() - t0) / secs / 1e3,
+                    sim::toGBps(tb.server().dramBytesTotal() - d0,
+                                window)};
+}
+
+void
+Fig10(benchmark::State& state)
+{
+    const auto mode = static_cast<ServerMode>(state.range(0));
+    const int pct = static_cast<int>(state.range(1));
+    KvResult r{};
+    for (auto _ : state)
+        r = runKv(mode, pct);
+    state.counters["kT_per_s"] = r.ktps;
+    state.counters["membw_GBps"] = r.membwGBps;
+    state.SetLabel(core::modeName(mode));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (auto mode : {ServerMode::Ioctopus, ServerMode::Remote}) {
+        for (int pct : {0, 50, 100}) {
+            const std::string name = std::string("fig10/memcached/") +
+                core::modeName(mode) + "/set" + std::to_string(pct);
+            benchmark::RegisterBenchmark(name.c_str(), &Fig10)
+                ->Args({static_cast<int>(mode), pct})
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    printHeader("Fig. 10 — memcached vs SET ratio",
+                "set%   ioct[kT/s]  remote[kT/s]  ioct/remote  "
+                "ioct membw[GB/s]  remote membw[GB/s]");
+    for (int pct : kSetPct) {
+        const auto o = runKv(ServerMode::Ioctopus, pct);
+        const auto r = runKv(ServerMode::Remote, pct);
+        std::printf("%-6d %10.2f %13.2f %12.2f %17.2f %19.2f\n", pct,
+                    o.ktps, r.ktps, o.ktps / r.ktps, o.membwGBps,
+                    r.membwGBps);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 12: 64-byte UDP message latency (sockperf-style ping-pong)
+ * co-located with STREAM pairs congesting the interconnect.
+ *
+ * Paper shape: ioct/local latency is flat as STREAM load grows (its
+ * DMAs never cross the interconnect); remote latency grows with
+ * congestion and sits 10-22% above ioct/local.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.hpp"
+#include "workloads/antagonists.hpp"
+
+using namespace octo;
+using namespace octo::bench;
+
+namespace {
+
+double
+runLatency(ServerMode mode, int stream_pairs)
+{
+    TestbedConfig cfg;
+    cfg.mode = mode;
+    cfg.rxCoalesce = 0;
+    Testbed tb(cfg);
+    auto server_t = tb.serverThread(tb.workNode(), 0);
+    auto client_t = tb.clientThread(0);
+    // sockperf: UDP-like single-frame messages, no TSO.
+    workloads::RrWorkload rr(tb, server_t, client_t, 64, /*tso=*/false);
+    rr.start();
+
+    std::vector<std::unique_ptr<workloads::StreamAntagonist>> ants;
+    int next_core[2] = {1, 1};
+    for (int p = 0; p < stream_pairs; ++p) {
+        const int node = p % 2;
+        for (auto dir : {topo::MemDir::Read, topo::MemDir::Write}) {
+            topo::Core& c =
+                tb.server().coreOn(node, next_core[node]++ %
+                                             tb.server().cal()
+                                                 .coresPerNode);
+            ants.push_back(std::make_unique<workloads::StreamAntagonist>(
+                tb.server(), c, 1 - node, dir));
+            ants.back()->start();
+        }
+    }
+
+    tb.runFor(sim::fromMs(2));
+    rr.resetStats();
+    tb.runFor(sim::fromMs(30));
+    return rr.latencyUs().mean();
+}
+
+void
+Fig12(benchmark::State& state)
+{
+    const auto mode = static_cast<ServerMode>(state.range(0));
+    const int pairs = static_cast<int>(state.range(1));
+    double us = 0;
+    for (auto _ : state)
+        us = runLatency(mode, pairs);
+    state.counters["latency_us"] = us;
+    state.SetLabel(core::modeName(mode));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (auto mode : {ServerMode::Ioctopus, ServerMode::Remote}) {
+        for (int pairs : {1, 3, 6}) {
+            const std::string name = std::string("fig12/latency/") +
+                core::modeName(mode) + "/" + std::to_string(pairs) +
+                "pairs";
+            benchmark::RegisterBenchmark(name.c_str(), &Fig12)
+                ->Args({static_cast<int>(mode), pairs})
+                ->Iterations(1)
+                ->Unit(benchmark::kMillisecond);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    printHeader("Fig. 12 — 64B message latency + STREAM congestion",
+                "pairs  ioct[us]  remote[us]  ioct/remote");
+    for (int pairs = 1; pairs <= 6; ++pairs) {
+        const double o = runLatency(ServerMode::Ioctopus, pairs);
+        const double r = runLatency(ServerMode::Remote, pairs);
+        std::printf("%-6d %9.2f %10.2f %12.2f\n", pairs, o, r, o / r);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

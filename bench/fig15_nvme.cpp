@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Figure 15: NVMe NUDMA sensitivity. Eight fio threads issue QD32
+ * 128 KB reads against four SSDs attached to the *other* socket while
+ * an increasing number of STREAM instances (running on the SSDs'
+ * socket, targeting the fio node's memory) congest the interconnect.
+ *
+ * Paper shape: fio throughput is SSD-bound until the UPI saturates
+ * (~5 STREAMs), then degrades by up to ~24%; STREAM throughput also
+ * normalizes down. An OctoSSD (dual-port, locality-steered — the
+ * paper's future work, which we implement) is immune; printed as an
+ * extra column.
+ */
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common.hpp"
+#include "nvme/nvme.hpp"
+#include "workloads/antagonists.hpp"
+#include "workloads/fio.hpp"
+
+using namespace octo;
+using namespace octo::bench;
+
+namespace {
+
+struct NvmeResult
+{
+    double fioGBps;
+    double streamGBps;
+};
+
+NvmeResult
+runNvme(int n_streams, bool octo_ssd)
+{
+    // Standalone single-host experiment: no NIC involved.
+    topo::Calibration cal;
+    sim::Simulator sim;
+    topo::Machine m(sim, cal, "server");
+
+    // Four SSDs on socket 1; fio threads and their buffers on socket 0.
+    std::vector<std::unique_ptr<nvme::NvmeDevice>> ssds;
+    std::vector<nvme::NvmeDevice*> ssd_ptrs;
+    for (int i = 0; i < 4; ++i) {
+        ssds.push_back(std::make_unique<nvme::NvmeDevice>(
+            m, 1, 4, "ssd" + std::to_string(i)));
+        if (octo_ssd)
+            ssds.back()->addSecondPort(0, 4);
+        ssd_ptrs.push_back(ssds.back().get());
+    }
+
+    workloads::FioConfig fc;
+    fc.octoSteer = octo_ssd;
+    std::vector<std::unique_ptr<workloads::FioThread>> fio;
+    for (int i = 0; i < 8; ++i) {
+        fio.push_back(std::make_unique<workloads::FioThread>(
+            os::ThreadCtx(m, m.coreOn(0, i)), ssd_ptrs, fc));
+        fio.back()->start();
+    }
+
+    // STREAM antagonists on the SSDs' socket targeting fio's memory.
+    std::vector<std::unique_ptr<workloads::StreamAntagonist>> ants;
+    for (int i = 0; i < n_streams; ++i) {
+        ants.push_back(std::make_unique<workloads::StreamAntagonist>(
+            m, m.coreOn(1, i % cal.coresPerNode), 0,
+            i % 2 == 0 ? topo::MemDir::Write : topo::MemDir::Read));
+        // Full STREAM kernels mix reads and writes, loading both
+        // interconnect directions.
+        ants.back()->setMixed(true);
+        ants.back()->start();
+    }
+
+    sim.runUntil(sim::fromMs(5));
+    std::uint64_t f0 = 0;
+    for (auto& f : fio)
+        f0 += f->bytesRead();
+    std::uint64_t s0 = 0;
+    for (auto& a : ants)
+        s0 += a->bytesMoved();
+    const sim::Tick window = sim::fromMs(25);
+    sim.runUntil(sim::fromMs(30));
+
+    std::uint64_t f1 = 0;
+    for (auto& f : fio)
+        f1 += f->bytesRead();
+    std::uint64_t s1 = 0;
+    for (auto& a : ants)
+        s1 += a->bytesMoved();
+    return NvmeResult{sim::toGBps(f1 - f0, window),
+                      sim::toGBps(s1 - s0, window)};
+}
+
+void
+Fig15(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    NvmeResult r{};
+    for (auto _ : state)
+        r = runNvme(n, false);
+    state.counters["fio_GBps"] = r.fioGBps;
+    state.counters["stream_GBps"] = r.streamGBps;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    for (int n : {0, 5, 10}) {
+        const std::string name =
+            "fig15/nvme/" + std::to_string(n) + "streams";
+        benchmark::RegisterBenchmark(name.c_str(), &Fig15)
+            ->Args({n})
+            ->Iterations(1)
+            ->Unit(benchmark::kMillisecond);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    const double fio_base = runNvme(0, false).fioGBps;
+    const double stream_base = runNvme(1, false).streamGBps;
+    const double fio_base_octo = runNvme(0, true).fioGBps;
+
+    printHeader("Fig. 15 — remote NVMe vs interconnect congestion "
+                "(normalized)",
+                "#streams  fio[norm]  STREAM[norm]  fio-octoSSD[norm]");
+    for (int n = 1; n <= 10; ++n) {
+        const auto r = runNvme(n, false);
+        const auto o = runNvme(n, true);
+        std::printf("%-9d %9.3f %12.3f %17.3f\n", n,
+                    r.fioGBps / fio_base,
+                    r.streamGBps / (stream_base * n > 0 ? stream_base * n
+                                                        : 1),
+                    o.fioGBps / fio_base_octo);
+    }
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Key-value service demo (the paper's §5.1.3 motivation): a
+ * memcached-style store with large values served to closed-loop
+ * clients, comparing the unified octoNIC against a NUDMA-suffering
+ * placement. Shows throughput, mean latency, and where the server's
+ * memory traffic goes.
+ *
+ * Usage: octo_kv_service [set_ratio_percent]
+ */
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/testbed.hpp"
+#include "workloads/kvstore.hpp"
+
+using namespace octo;
+
+int
+main(int argc, char** argv)
+{
+    const double set_ratio =
+        (argc > 1 ? std::atof(argv[1]) : 50.0) / 100.0;
+
+    std::printf("memcached-style KV service: 256 B keys, 512 KB values, "
+                "%.0f%% SETs, 14 clients\n\n",
+                set_ratio * 100);
+    std::printf("%-10s %12s %14s %14s %12s\n", "config", "kT/s",
+                "latency[us]", "membw[GB/s]", "qpi[Gb/s]");
+
+    for (auto mode :
+         {core::ServerMode::Ioctopus, core::ServerMode::Remote}) {
+        core::TestbedConfig cfg;
+        cfg.mode = mode;
+        core::Testbed tb(cfg);
+
+        workloads::KvConfig kv;
+        kv.setRatio = set_ratio;
+        workloads::KvWorkload wl(tb, tb.workNode(), kv);
+        wl.start();
+
+        tb.runFor(sim::fromMs(10)); // warmup
+        const auto t0 = wl.transactions();
+        const auto d0 = tb.server().dramBytesTotal();
+        const auto q0 = tb.server().qpiBytesTotal();
+        const sim::Tick window = sim::fromMs(40);
+        tb.runFor(window);
+
+        std::printf("%-10s %12.2f %14.1f %14.2f %12.2f\n",
+                    core::modeName(mode),
+                    (wl.transactions() - t0) / sim::toSec(window) / 1e3,
+                    wl.latencyUs().mean(),
+                    sim::toGBps(tb.server().dramBytesTotal() - d0,
+                                window),
+                    sim::toGbps(tb.server().qpiBytesTotal() - q0,
+                                window));
+    }
+
+    std::printf("\nThe octoNIC keeps every DMA socket-local: no "
+                "interconnect traffic, lower memory\nbandwidth, and an "
+                "advantage that grows with the SET ratio (receive "
+                "traffic is\nwhat suffers NUDMA — paper Fig. 10).\n");
+    return 0;
+}

@@ -1,0 +1,240 @@
+#include "core/testbed.hpp"
+
+#include <cassert>
+
+namespace octo::core {
+
+const char*
+modeName(ServerMode m)
+{
+    switch (m) {
+      case ServerMode::Local:
+        return "local";
+      case ServerMode::Remote:
+        return "remote";
+      case ServerMode::Ioctopus:
+        return "ioctopus";
+      case ServerMode::TwoNics:
+        return "two-nics";
+      case ServerMode::Bonded:
+        return "bonded";
+    }
+    return "?";
+}
+
+Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
+{
+    topo::Calibration server_cal = cfg_.cal;
+    server_cal.ddioEnabled = cfg_.serverDdio;
+    topo::Calibration client_cal = cfg_.cal;
+    client_cal.ddioEnabled = cfg_.clientDdio;
+
+    server_ = std::make_unique<topo::Machine>(sim_, server_cal, "server");
+    client_ = std::make_unique<topo::Machine>(sim_, client_cal, "client");
+    wire_ = std::make_unique<nic::Wire>(sim_, cfg_.cal.wireGbps,
+                                        cfg_.cal.wireLatency);
+
+    buildServerSide();
+    buildClientSide();
+
+    wire_->attach(serverNic_.get(), clientNic_.get());
+    serverNic_->connect(*wire_);
+    clientNic_->connect(*wire_);
+    serverNic_->start();
+    clientNic_->start();
+}
+
+Testbed::~Testbed() = default;
+
+void
+Testbed::buildServerSide()
+{
+    serverNic_ =
+        std::make_unique<nic::NicDevice>(*server_, "octoNIC");
+    serverNic_->setRxCoalesce(cfg_.rxCoalesce);
+
+    // Bifurcated x16: one x8 endpoint per socket (ConnectX-5 Socket
+    // Direct form factor, §4.1). PF1 exists in every mode; standard
+    // firmware simply may not use it.
+    pcie::PciFunction& pf0 = serverNic_->addFunction(0, 8);
+    pcie::PciFunction& pf1 = serverNic_->addFunction(1, 8);
+
+    const int per_node = cfg_.cal.coresPerNode;
+    const int total = cfg_.cal.nodes * per_node;
+
+    switch (cfg_.mode) {
+      case ServerMode::Local:
+      case ServerMode::Remote: {
+        // One netdev over PF0. A descriptor ring per core, interrupts on
+        // the ring's core; all DMA flows through PF0 wherever the ring
+        // lives — DMA to node 1 rings is the NUDMA path.
+        auto stack = std::make_unique<os::NetStack>(*server_, *serverNic_,
+                                                    cfg_.stack);
+        std::vector<int> qids;
+        for (int c = 0; c < total; ++c) {
+            const int qid = serverNic_->addQueue(server_->core(c), pf0,
+                                                 cfg_.rxRingEntries);
+            stack->mapCoreToQueue(c, qid);
+            qids.push_back(qid);
+        }
+        serverNic_->addNetdev(kServerIp, qids);
+        serverStacks_.push_back(std::move(stack));
+        break;
+      }
+      case ServerMode::Ioctopus: {
+        // The octoNIC: one logical netdev spanning both PFs. Each ring
+        // is bound to the PF local to its core's node, so IOctoRFS
+        // steering to a ring implies DMA through the local endpoint.
+        auto stack = std::make_unique<os::NetStack>(*server_, *serverNic_,
+                                                    cfg_.stack);
+        std::vector<int> qids;
+        for (int c = 0; c < total; ++c) {
+            topo::Core& core = server_->core(c);
+            pcie::PciFunction& pf = core.node() == 0 ? pf0 : pf1;
+            const int qid = serverNic_->addQueue(core, pf,
+                                                 cfg_.rxRingEntries);
+            stack->mapCoreToQueue(c, qid);
+            qids.push_back(qid);
+        }
+        serverNic_->addNetdev(kServerIp, qids);
+        serverStacks_.push_back(std::move(stack));
+        break;
+      }
+      case ServerMode::TwoNics: {
+        // §2.5 baseline: two independent netdevs, one per socket. A
+        // second NetStack would fight over the single NicSink slot, so
+        // both netdevs share one stack object but advertise separate
+        // addresses and queue sets; sockets stay pinned to the netdev
+        // they were created on because XPS maps each core only to its
+        // own node's queues.
+        auto stack = std::make_unique<os::NetStack>(*server_, *serverNic_,
+                                                    cfg_.stack);
+        std::vector<int> qids0;
+        std::vector<int> qids1;
+        for (int c = 0; c < total; ++c) {
+            topo::Core& core = server_->core(c);
+            pcie::PciFunction& pf = core.node() == 0 ? pf0 : pf1;
+            const int qid = serverNic_->addQueue(core, pf,
+                                                 cfg_.rxRingEntries);
+            stack->mapCoreToQueue(c, qid);
+            stack->setQueueDomain(qid, core.node());
+            (core.node() == 0 ? qids0 : qids1).push_back(qid);
+        }
+        serverNic_->addNetdev(kServerIp, qids0);
+        serverNic_->addNetdev(kServerIp2, qids1);
+        serverStacks_.push_back(std::move(stack));
+        break;
+      }
+      case ServerMode::Bonded: {
+        // §2.5 bonding baseline: two member netdevs under one address,
+        // aggregated by the switch. Each member has a full per-core
+        // queue set behind its own PF; the switch hashes flows to
+        // members with no thread awareness, so ARFS can localize a
+        // flow's interrupts/rings but never its PF.
+        auto stack = std::make_unique<os::NetStack>(*server_, *serverNic_,
+                                                    cfg_.stack);
+        for (int member = 0; member < 2; ++member) {
+            pcie::PciFunction& pf = member == 0 ? pf0 : pf1;
+            std::vector<int> qids;
+            for (int c = 0; c < total; ++c) {
+                topo::Core& core = server_->core(c);
+                const int qid = serverNic_->addQueue(core, pf,
+                                                     cfg_.rxRingEntries);
+                stack->mapCoreToQueueInDomain(c, member, qid);
+                stack->setQueueDomain(qid, member);
+                if (member == 0)
+                    stack->mapCoreToQueue(c, qid);
+                qids.push_back(qid);
+            }
+            serverNic_->addNetdev(kServerIp, std::move(qids));
+        }
+        serverNic_->setBondMode(true);
+        serverStacks_.push_back(std::move(stack));
+        break;
+      }
+    }
+}
+
+void
+Testbed::buildClientSide()
+{
+    clientNic_ = std::make_unique<nic::NicDevice>(*client_, "clientNIC");
+    clientNic_->setRxCoalesce(cfg_.rxCoalesce);
+
+    // Plain x16 NIC on node 0; the client workload also runs there.
+    pcie::PciFunction& pf = clientNic_->addFunction(0, 16);
+
+    clientStack_ = std::make_unique<os::NetStack>(*client_, *clientNic_,
+                                                  cfg_.stack);
+    std::vector<int> qids;
+    const int per_node = cfg_.cal.coresPerNode;
+    const int total = cfg_.cal.nodes * per_node;
+    for (int c = 0; c < total; ++c) {
+        const int qid = clientNic_->addQueue(client_->core(c), pf,
+                                             cfg_.rxRingEntries);
+        qids.push_back(qid);
+    }
+    // Unlike the pinned server experiments, the client is unconstrained:
+    // its softirq work lands on a neighbouring core of the same node
+    // rather than the application's own core (default IRQ spreading),
+    // which is what lets one netperf connection exceed a single core's
+    // receive capacity in the Tx experiments.
+    for (int c = 0; c < total; ++c) {
+        const int node = c / per_node;
+        const int neighbour = node * per_node + (c + 1) % per_node;
+        clientStack_->mapCoreToQueue(c, qids[neighbour]);
+    }
+    clientNic_->addNetdev(kClientIp, qids);
+}
+
+os::ThreadCtx
+Testbed::serverThread(int node, int local)
+{
+    return os::ThreadCtx(*server_, server_->coreOn(node, local));
+}
+
+os::ThreadCtx
+Testbed::clientThread(int local, int node)
+{
+    return os::ThreadCtx(*client_, client_->coreOn(node, local));
+}
+
+TcpPair
+Testbed::connect(os::ThreadCtx& server_t, os::ThreadCtx& client_t,
+                 bool tso, std::uint64_t window)
+{
+    // TwoNics: the socket binds to the netdev of the server thread's
+    // node at creation time — the association §2.5 shows cannot follow
+    // a migrating thread.
+    std::uint32_t server_ip = kServerIp;
+    if (cfg_.mode == ServerMode::TwoNics && server_t.node() == 1)
+        server_ip = kServerIp2;
+
+    const std::uint16_t port = nextPort_++;
+    nic::FiveTuple to_server;
+    to_server.srcIp = kClientIp;
+    to_server.dstIp = server_ip;
+    to_server.srcPort = port;
+    to_server.dstPort = 5001;
+    to_server.proto = nic::Proto::Tcp;
+
+    os::NetStack& sstack = serverStack(0);
+    const std::uint64_t win =
+        window == 0 ? cfg_.stack.windowBytes : window;
+    os::Socket& ss = sstack.createSocket(to_server, win, tso);
+    if (cfg_.mode == ServerMode::TwoNics)
+        ss.steerDomain = server_t.node();
+    if (cfg_.mode == ServerMode::Bonded) {
+        // The switch's member choice is a property of the flow hash;
+        // the socket is stuck with it for life.
+        ss.steerDomain = static_cast<int>((to_server.hash() >> 32) % 2);
+    }
+    os::Socket& cs =
+        clientStack_->createSocket(to_server.reversed(), win, tso);
+    os::NetStack::pair(ss, cs);
+
+    return TcpPair{server_t, client_t, &ss, &cs, &sstack,
+                   clientStack_.get()};
+}
+
+} // namespace octo::core

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Experiment testbed: two simulated hosts (client and server) connected
+ * back-to-back by a 100 GbE wire, mirroring the paper's setup (§5), with
+ * the evaluated server configurations as presets:
+ *
+ *  - **Local**:   standard firmware; the workload runs on the NIC's
+ *                 socket. No NUDMA.
+ *  - **Remote**:  standard firmware; the workload runs on the other
+ *                 socket. Every DMA crosses the interconnect (NUDMA).
+ *  - **Ioctopus**: octo firmware; one PF per socket unified into a
+ *                 single netdev with IOctoRFS steering. NUDMA-free
+ *                 regardless of where the workload runs.
+ *  - **TwoNics**: the §2.5 baseline — two independent netdevs, one per
+ *                 socket; flows are pinned to a device for life.
+ *
+ * The server NIC always has the bifurcated x16 -> 2x8 form factor; the
+ * client NIC is a plain x16 device local to the client workload, so the
+ * client side never contributes NU(D)MA effects.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nic/device.hpp"
+#include "nic/wire.hpp"
+#include "os/netstack.hpp"
+#include "os/socket.hpp"
+#include "os/thread.hpp"
+#include "sim/simulator.hpp"
+#include "topo/calibration.hpp"
+#include "topo/machine.hpp"
+
+namespace octo::core {
+
+/** Server NIC / driver configuration under test. */
+enum class ServerMode
+{
+    Local,
+    Remote,
+    Ioctopus,
+    TwoNics,
+    /** §2.5 bonding/teaming baseline: both PFs aggregated into one
+     *  logical link by the *switch* (EtherChannel / 802.3ad). The
+     *  switch hashes each flow to a member link with no knowledge of
+     *  where the consuming thread runs, so roughly half the flows land
+     *  on the remote PF whatever the OS does — there is no ARFS-like
+     *  mechanism on the switch side. */
+    Bonded,
+};
+
+/** Human-readable preset name (figure legends). */
+const char* modeName(ServerMode m);
+
+/** Full experiment configuration. */
+struct TestbedConfig
+{
+    ServerMode mode = ServerMode::Ioctopus;
+    topo::Calibration cal;
+    bool serverDdio = true; ///< Fig. 9 "nd" runs disable this.
+    bool clientDdio = true;
+    sim::Tick rxCoalesce = sim::fromUs(10); ///< 0 for latency runs.
+    /** Rx descriptor-ring entries per queue. Sized so the aggregate
+     *  flow-control windows of the connections sharing a queue fit
+     *  without loss (the back-to-back testbed never drops). */
+    int rxRingEntries = 4096;
+    os::StackConfig stack;
+};
+
+/** A connected TCP/UDP endpoint pair plus thread contexts. */
+struct TcpPair
+{
+    os::ThreadCtx serverCtx;
+    os::ThreadCtx clientCtx;
+    os::Socket* serverSock;
+    os::Socket* clientSock;
+    os::NetStack* serverStack;
+    os::NetStack* clientStack;
+};
+
+/**
+ * The two-host experiment testbed.
+ */
+class Testbed
+{
+  public:
+    static constexpr int kNicNode = 0;       ///< Socket PF0 attaches to.
+    static constexpr std::uint32_t kServerIp = 20;
+    static constexpr std::uint32_t kServerIp2 = 21; ///< TwoNics second dev.
+    static constexpr std::uint32_t kClientIp = 10;
+
+    explicit Testbed(const TestbedConfig& cfg);
+    ~Testbed();
+
+    Testbed(const Testbed&) = delete;
+    Testbed& operator=(const Testbed&) = delete;
+
+    sim::Simulator& sim() { return sim_; }
+    const TestbedConfig& config() const { return cfg_; }
+
+    topo::Machine& server() { return *server_; }
+    topo::Machine& client() { return *client_; }
+    nic::NicDevice& serverNic() { return *serverNic_; }
+    nic::NicDevice& clientNic() { return *clientNic_; }
+
+    /** Server stacks: one (Local/Remote/Ioctopus) or two (TwoNics). */
+    os::NetStack& serverStack(int idx = 0) { return *serverStacks_.at(idx); }
+    int serverStackCount() const
+    {
+        return static_cast<int>(serverStacks_.size());
+    }
+    os::NetStack& clientStack() { return *clientStack_; }
+
+    /**
+     * The node the server workload should run on for this preset:
+     * the NIC's node for Local, the other one for Remote. For Ioctopus
+     * the choice is free; Remote's node is returned so that
+     * ioct-vs-remote comparisons run the workload in the same place.
+     */
+    int
+    workNode() const
+    {
+        return cfg_.mode == ServerMode::Local ? kNicNode : 1;
+    }
+
+    /** A server-side thread context pinned to core @p local of
+     *  @p node. */
+    os::ThreadCtx serverThread(int node, int local);
+
+    /** A client-side thread context. Node 0 (the client NIC's node) is
+     *  the default no-NU(D)MA placement; Fig. 9's "rr" runs put the
+     *  client thread on node 1 to make the client side remote too. */
+    os::ThreadCtx clientThread(int local, int node = 0);
+
+    /**
+     * Establish a connected socket pair between a server thread and a
+     * client thread. @p window == 0 uses the stack default.
+     */
+    TcpPair connect(os::ThreadCtx& server_t, os::ThreadCtx& client_t,
+                    bool tso = true, std::uint64_t window = 0);
+
+    /** Advance simulated time by @p t. */
+    void
+    runFor(sim::Tick t)
+    {
+        sim_.runUntil(sim_.now() + t);
+    }
+
+  private:
+    void buildServerSide();
+    void buildClientSide();
+
+    TestbedConfig cfg_;
+    sim::Simulator sim_;
+
+    std::unique_ptr<topo::Machine> server_;
+    std::unique_ptr<topo::Machine> client_;
+    std::unique_ptr<nic::NicDevice> serverNic_;
+    std::unique_ptr<nic::NicDevice> clientNic_;
+    std::unique_ptr<nic::Wire> wire_;
+    std::vector<std::unique_ptr<os::NetStack>> serverStacks_;
+    std::unique_ptr<os::NetStack> clientStack_;
+
+    std::uint16_t nextPort_ = 2000;
+};
+
+} // namespace octo::core

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Last-level cache model with Data Direct I/O (DDIO) semantics.
+ *
+ * The simulator does not track individual cache lines. Instead it answers
+ * the two questions the NUDMA experiments depend on:
+ *
+ *  1. Where does DMA-written data land? With DDIO enabled and the device
+ *     attached to the same node as the target memory, device writes
+ *     allocate into the LLC; otherwise they go to DRAM (Intel DDIO "only
+ *     works locally" — paper §2.2).
+ *
+ *  2. Is previously cached data still resident when the CPU touches it?
+ *     Modelled by a capacity-pressure heuristic: consumers register their
+ *     active working sets; the probability that a line survives until its
+ *     next use is capacity/pressure (clamped to 1).
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace octo::mem {
+
+/** Where a piece of data currently resides, from the CPU's viewpoint. */
+enum class DataLoc
+{
+    Llc,  ///< Present in the node's last-level cache.
+    Dram, ///< Must be fetched from DRAM (possibly across the interconnect).
+};
+
+/**
+ * Per-node LLC: capacity-pressure bookkeeping plus the DDIO policy knob.
+ */
+class LlcModel
+{
+  public:
+    /**
+     * @param capacity_bytes Total LLC capacity of the node.
+     * @param ddio_enabled   Whether device writes to local memory allocate
+     *                       into this LLC (Intel DDIO). Fig. 9's "nd"
+     *                       configurations disable this.
+     */
+    explicit LlcModel(std::uint64_t capacity_bytes, bool ddio_enabled = true)
+        : capacity_(capacity_bytes), ddio_(ddio_enabled)
+    {
+    }
+
+    std::uint64_t capacity() const { return capacity_; }
+
+    bool ddioEnabled() const { return ddio_; }
+    void setDdioEnabled(bool on) { ddio_ = on; }
+
+    /**
+     * Register @p bytes of actively-touched working set (rings, socket
+     * buffers, value stores, antagonist streams). Balanced by
+     * removePressure().
+     */
+    void addPressure(std::uint64_t bytes) { pressure_ += bytes; }
+
+    void
+    removePressure(std::uint64_t bytes)
+    {
+        pressure_ = pressure_ > bytes ? pressure_ - bytes : 0;
+    }
+
+    std::uint64_t pressure() const { return pressure_; }
+
+    /**
+     * Probability that a recently-cached line is still resident when next
+     * touched. 1.0 while the aggregate working set fits; degrades as
+     * capacity is oversubscribed.
+     */
+    double
+    hitFraction() const
+    {
+        if (pressure_ <= capacity_)
+            return 1.0;
+        return static_cast<double>(capacity_) /
+               static_cast<double>(pressure_);
+    }
+
+    /**
+     * Location of data just DMA-written by a device attached to
+     * @p dev_node targeting memory on @p mem_node (this LLC's node).
+     */
+    DataLoc
+    dmaWriteLocation(int dev_node, int mem_node) const
+    {
+        return (ddio_ && dev_node == mem_node) ? DataLoc::Llc
+                                               : DataLoc::Dram;
+    }
+
+    /** RAII helper that registers pressure for a scope's lifetime. */
+    class PressureScope
+    {
+      public:
+        PressureScope(LlcModel& llc, std::uint64_t bytes)
+            : llc_(&llc), bytes_(bytes)
+        {
+            llc_->addPressure(bytes_);
+        }
+
+        PressureScope(PressureScope&& o) noexcept
+            : llc_(o.llc_), bytes_(o.bytes_)
+        {
+            o.llc_ = nullptr;
+        }
+
+        PressureScope(const PressureScope&) = delete;
+        PressureScope& operator=(const PressureScope&) = delete;
+        PressureScope& operator=(PressureScope&&) = delete;
+
+        ~PressureScope()
+        {
+            if (llc_)
+                llc_->removePressure(bytes_);
+        }
+
+      private:
+        LlcModel* llc_;
+        std::uint64_t bytes_;
+    };
+
+  private:
+    std::uint64_t capacity_;
+    bool ddio_;
+    std::uint64_t pressure_ = 0;
+};
+
+} // namespace octo::mem

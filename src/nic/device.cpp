@@ -1,0 +1,241 @@
+#include "nic/device.hpp"
+
+#include <cassert>
+
+namespace octo::nic {
+
+NicDevice::NicDevice(topo::Machine& host, std::string name)
+    : host_(host), name_(std::move(name)), sim_(host.sim())
+{
+}
+
+NicDevice::~NicDevice() = default;
+
+pcie::PciFunction&
+NicDevice::addFunction(int node, int lanes)
+{
+    const int id = static_cast<int>(pfs_.size());
+    pfs_.push_back(std::make_unique<pcie::PciFunction>(
+        host_, node, lanes, id, name_ + ".pf" + std::to_string(id)));
+    return *pfs_.back();
+}
+
+int
+NicDevice::addQueue(topo::Core& irq_core, pcie::PciFunction& pf,
+                    int ring_entries)
+{
+    const int qid = static_cast<int>(queues_.size());
+    queues_.push_back(std::make_unique<NicQueue>(sim_, qid, &irq_core,
+                                                 &pf, ring_entries));
+    return qid;
+}
+
+int
+NicDevice::addNetdev(std::uint32_t ip, std::vector<int> qids)
+{
+    netdevs_.push_back(NetdevView{ip, std::move(qids)});
+    return static_cast<int>(netdevs_.size()) - 1;
+}
+
+void
+NicDevice::start()
+{
+    for (int q = 0; q < queueCount(); ++q)
+        engines_.push_back(txEngine(q));
+}
+
+void
+NicDevice::steerFlow(const FiveTuple& flow, int qid)
+{
+    steering_[flow] = qid;
+}
+
+void
+NicDevice::clearFlow(const FiveTuple& flow)
+{
+    steering_.erase(flow);
+}
+
+int
+NicDevice::classify(const FiveTuple& flow) const
+{
+    if (auto it = steering_.find(flow); it != steering_.end())
+        return it->second;
+    // RSS fallback within the owning netdev. In bond mode the switch's
+    // hash chooses the member link (§2.5) — it knows nothing about
+    // where the consuming thread runs; otherwise the destination
+    // address selects the netdev (first netdev is the default domain).
+    const NetdevView* nd = netdevs_.empty() ? nullptr : &netdevs_[0];
+    if (bondMode_ && !netdevs_.empty()) {
+        nd = &netdevs_[(flow.hash() >> 32) % netdevs_.size()];
+    } else {
+        for (const auto& view : netdevs_) {
+            if (view.ip == flow.dstIp) {
+                nd = &view;
+                break;
+            }
+        }
+    }
+    assert(nd && !nd->qids.empty());
+    return nd->qids[flow.hash() % nd->qids.size()];
+}
+
+Task<>
+NicDevice::postTx(int qid, TxDesc desc)
+{
+    NicQueue& q = *queues_.at(qid);
+    co_await q.txRing.push(desc);
+}
+
+void
+NicDevice::acceptFrame(const Frame& f)
+{
+    rxPath(f).detach();
+}
+
+Task<>
+NicDevice::rxPath(Frame f)
+{
+    const int qid = classify(f.flow);
+    NicQueue& q = *queues_.at(qid);
+    if (!q.rxCredits.tryAcquire()) {
+        ++rxDrops_; // Rx ring overrun: the frame is lost.
+        co_return;
+    }
+    RxCompletion c;
+    c.frame = f;
+    c.bufNode = q.bufNode;
+    c.dataLoc = co_await q.pf->dmaWrite(q.bufNode, f.payloadBytes);
+    c.cqeLoc = co_await q.pf->dmaWrite(q.bufNode, 64);
+    ++q.rxFrames;
+    q.rxCq.tryPush(c); // capacity == ring credits: cannot fail
+    maybeRaiseRxIrq(q);
+}
+
+Task<>
+NicDevice::txEngine(int qid)
+{
+    NicQueue& q = *queues_.at(qid);
+    for (;;) {
+        TxDesc d = co_await q.txRing.pop();
+        // Per-descriptor device processing gap; the descriptor itself is
+        // handled by a pipelined task so DMA fetches overlap.
+        txProcess(q, d).detach();
+        co_await sim::delay(sim_, txIssueGap_);
+    }
+}
+
+pcie::PciFunction&
+NicDevice::pfForNode(int node)
+{
+    for (auto& pf : pfs_) {
+        if (pf->node() == node)
+            return *pf;
+    }
+    return *pfs_.front();
+}
+
+Task<>
+NicDevice::txProcess(NicQueue& q, TxDesc d)
+{
+    const auto& cal = host_.cal();
+    // Fetch descriptor + payload via this queue's PF. The descriptor is
+    // folded into the payload read (64 extra bytes).
+    const std::uint32_t main_bytes =
+        d.bytes > d.spanBytes ? d.bytes - d.spanBytes : 0;
+    co_await q.pf->dmaRead(d.skbNode, main_bytes + 64, d.loc);
+    if (d.spanBytes > 0) {
+        // Cross-node fragment: with IOctoSG the driver's hint routes the
+        // fetch through the fragment's local PF; otherwise the queue's
+        // PF reads it across the interconnect (NUDMA).
+        pcie::PciFunction& frag_pf =
+            octoSg_ ? pfForNode(d.spanNode) : *q.pf;
+        co_await frag_pf.dmaRead(d.spanNode, d.spanBytes, d.loc);
+    }
+
+    // Segment onto the wire (TSO, §2.3): reserve wire slots so
+    // back-to-back descriptors pipeline rather than serialize on
+    // propagation delay.
+    assert(wire_);
+    NicDevice* peer = wire_->peer(this);
+    sim::Pipe& tx_wire = wire_->towards(peer);
+    std::uint32_t left = d.bytes;
+    std::uint64_t seq = d.seqStart;
+    while (left > 0) {
+        const std::uint32_t chunk = std::min(cal.mtu, left);
+        left -= chunk;
+        Frame f;
+        f.flow = d.flow;
+        f.payloadBytes = chunk;
+        f.seq = seq++;
+        f.sentAt = d.sentAt;
+        f.lastOfMessage = d.lastOfMessage && left == 0;
+        const Tick arrival = tx_wire.reserve(cal.wireBytes(chunk));
+        ++q.txFrames;
+        sim_.schedule(arrival, [peer, f] { peer->acceptFrame(f); });
+    }
+
+    TxCompletion tc;
+    tc.desc = d;
+    tc.cqeLoc = co_await q.pf->dmaWrite(q.bufNode, 64);
+    q.txCq.tryPush(tc);
+    maybeRaiseTxIrq(q);
+}
+
+Tick
+NicDevice::irqLatencyFor(const NicQueue& q) const
+{
+    Tick lat = host_.cal().irqDelivery;
+    if (q.pf->node() != q.irqCore->node())
+        lat += host_.cal().qpiLatency;
+    return lat;
+}
+
+void
+NicDevice::maybeRaiseRxIrq(NicQueue& q)
+{
+    if (!q.rxIrqArmed || sink_ == nullptr)
+        return;
+    q.rxIrqArmed = false;
+    const int qid = q.id;
+    NicSink* sink = sink_;
+    sim_.scheduleIn(irqLatencyFor(q) + rxCoalesce_,
+                    [sink, qid] { sink->rxReady(qid); });
+}
+
+void
+NicDevice::maybeRaiseTxIrq(NicQueue& q)
+{
+    if (!q.txIrqArmed || sink_ == nullptr)
+        return;
+    q.txIrqArmed = false;
+    const int qid = q.id;
+    NicSink* sink = sink_;
+    sim_.scheduleIn(irqLatencyFor(q), [sink, qid] { sink->txReady(qid); });
+}
+
+void
+NicDevice::rearmRxIrq(int qid)
+{
+    NicQueue& q = *queues_.at(qid);
+    q.rxIrqArmed = true;
+    if (!q.rxCq.empty())
+        maybeRaiseRxIrq(q);
+}
+
+void
+NicDevice::rearmTxIrq(int qid)
+{
+    NicQueue& q = *queues_.at(qid);
+    q.txIrqArmed = true;
+    if (!q.txCq.empty())
+        maybeRaiseTxIrq(q);
+}
+
+std::uint64_t
+NicDevice::pfRxBytes(int idx) const
+{
+    return pfs_.at(idx)->toHost().totalBytes();
+}
+
+} // namespace octo::nic

@@ -1,0 +1,221 @@
+/**
+ * @file
+ * The NIC device model.
+ *
+ * A NicDevice exposes one or more PCIe physical functions (PFs), a set of
+ * descriptor-ring queue pairs, steering tables, and one network port. Two
+ * firmware personalities are modelled:
+ *
+ *  - **Standard**: each PF belongs to a distinct netdev with its own IP;
+ *    the integrated multi-PF Ethernet switch (MPFS) demultiplexes frames
+ *    to PFs by destination address, then per-PF ARFS picks the queue.
+ *    This is the paper's baseline (Fig. 5a/5b).
+ *
+ *  - **Octo** (IOctopus firmware, §4.1): all PFs form a single logical
+ *    device with one externally-visible address. The MPFS is modified to
+ *    map frames to queues by flow 5-tuple (IOctoRFS); the queue's PF
+ *    binding — installed by the driver as the PF local to the queue's
+ *    node — determines which PCIe endpoint the DMA uses.
+ *
+ * In both personalities the flow-steering state is the same table; what
+ * differs is how queues are bound to PFs and addresses, which the driver
+ * layer (src/core) configures.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "nic/flow.hpp"
+#include "nic/packet.hpp"
+#include "nic/wire.hpp"
+#include "pcie/function.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+#include "topo/machine.hpp"
+
+namespace octo::nic {
+
+using sim::Task;
+using sim::Tick;
+
+/**
+ * Host-side consumer of NIC interrupts (the OS network stack).
+ * Callbacks fire from the event loop; implementations typically spawn a
+ * softirq coroutine.
+ */
+class NicSink
+{
+  public:
+    virtual ~NicSink() = default;
+    virtual void rxReady(int qid) = 0;
+    virtual void txReady(int qid) = 0;
+};
+
+/** One queue pair: Rx ring + completion queue, Tx ring + completions. */
+struct NicQueue
+{
+    NicQueue(sim::Simulator& sim, int id_, topo::Core* irq_core,
+             pcie::PciFunction* pf_, int ring_entries)
+        : id(id_), irqCore(irq_core), pf(pf_),
+          bufNode(irq_core->node()), rxCq(sim, ring_entries),
+          txRing(sim, ring_entries), txCq(sim, 4 * ring_entries),
+          rxCredits(sim, ring_entries)
+    {
+    }
+
+    int id;
+    topo::Core* irqCore; ///< Core receiving this queue's interrupts.
+    pcie::PciFunction* pf; ///< PCIe endpoint carrying this queue's DMA.
+    int bufNode;         ///< Node holding ring + packet buffers (local
+                         ///< to the consuming core, per XPS/ARFS).
+    sim::Channel<RxCompletion> rxCq;
+    sim::Channel<TxDesc> txRing;
+    sim::Channel<TxCompletion> txCq;
+    sim::Semaphore rxCredits;
+    bool rxIrqArmed = true;
+    bool txIrqArmed = true;
+    std::uint64_t rxFrames = 0;
+    std::uint64_t txFrames = 0;
+    std::uint64_t rxReaped = 0; ///< Completions processed by softirq.
+};
+
+/** A classification domain: one netdev-visible address + its queues. */
+struct NetdevView
+{
+    std::uint32_t ip;
+    std::vector<int> qids;
+};
+
+/** The NIC device. */
+class NicDevice
+{
+  public:
+    NicDevice(topo::Machine& host, std::string name);
+    ~NicDevice();
+
+    NicDevice(const NicDevice&) = delete;
+    NicDevice& operator=(const NicDevice&) = delete;
+
+    topo::Machine& host() { return host_; }
+    const std::string& name() const { return name_; }
+
+    // ------------------------------------------------------------ setup
+    /** Add a PCIe endpoint attached to @p node with @p lanes lanes. */
+    pcie::PciFunction& addFunction(int node, int lanes);
+
+    pcie::PciFunction& function(int idx) { return *pfs_.at(idx); }
+    int functionCount() const { return static_cast<int>(pfs_.size()); }
+
+    /**
+     * Add a queue pair whose interrupts target @p irq_core and whose DMA
+     * flows through @p pf. Ring and packet buffers live on the core's
+     * node. Returns the queue id.
+     */
+    int addQueue(topo::Core& irq_core, pcie::PciFunction& pf,
+                 int ring_entries = 512);
+
+    NicQueue& queue(int qid) { return *queues_.at(qid); }
+    int queueCount() const { return static_cast<int>(queues_.size()); }
+
+    /** Register a netdev-visible address owning @p qids. */
+    int addNetdev(std::uint32_t ip, std::vector<int> qids);
+
+    /** Attach the single port to a wire. */
+    void connect(Wire& wire) { wire_ = &wire; }
+
+    void setSink(NicSink* sink) { sink_ = sink; }
+
+    /** Rx interrupt coalescing delay (0 disables coalescing). */
+    void setRxCoalesce(Tick t) { rxCoalesce_ = t; }
+
+    /** Bonding/teaming (§2.5): with multiple netdevs registered under
+     *  one address, the (simulated) switch hashes each unsteered flow
+     *  to a member netdev — the static link aggregation that cannot
+     *  follow a migrating thread. */
+    void setBondMode(bool on) { bondMode_ = on; }
+    bool bondMode() const { return bondMode_; }
+
+    /** Enable IOctoSG: descriptors carrying a cross-node fragment hint
+     *  are fetched through the PF local to each fragment (§3.3). */
+    void setOctoSg(bool on) { octoSg_ = on; }
+    bool octoSg() const { return octoSg_; }
+
+    /** The PF attached to @p node, or PF0 when none is. */
+    pcie::PciFunction& pfForNode(int node);
+
+    /** Start per-queue Tx engines. Call after all queues exist. */
+    void start();
+
+    // --------------------------------------------------------- steering
+    /**
+     * Install or update a flow-steering rule (ARFS in standard firmware;
+     * the IOctoRFS/MPFS composition in octo firmware). The caller (the
+     * driver) models the asynchronous kernel-worker update delay.
+     */
+    void steerFlow(const FiveTuple& flow, int qid);
+
+    /** Remove a steering rule (rule expiry). */
+    void clearFlow(const FiveTuple& flow);
+
+    /** Queue a frame arriving for @p flow would be steered to now. */
+    int classify(const FiveTuple& flow) const;
+
+    // -------------------------------------------------------- data path
+    /**
+     * Host posts a Tx descriptor; suspends while the ring is full.
+     * The doorbell MMIO cost is charged by the caller.
+     */
+    Task<> postTx(int qid, TxDesc desc);
+
+    /** Frame arriving from the wire (called by the peer device). */
+    void acceptFrame(const Frame& f);
+
+    /**
+     * Re-arm the Rx interrupt for @p qid after a softirq drain; if new
+     * completions raced in, the interrupt re-fires immediately.
+     */
+    void rearmRxIrq(int qid);
+
+    /** Re-arm the Tx-completion interrupt for @p qid. */
+    void rearmTxIrq(int qid);
+
+    // ------------------------------------------------------- statistics
+    std::uint64_t rxDrops() const { return rxDrops_; }
+
+    /** Cumulative DMA-write (device-to-host) bytes through PF @p idx —
+     *  the per-PF throughput series of Fig. 14. */
+    std::uint64_t pfRxBytes(int idx) const;
+
+  private:
+    Task<> rxPath(Frame f);
+    Task<> txEngine(int qid);
+    Task<> txProcess(NicQueue& q, TxDesc d);
+    void maybeRaiseRxIrq(NicQueue& q);
+    void maybeRaiseTxIrq(NicQueue& q);
+    Tick irqLatencyFor(const NicQueue& q) const;
+
+    topo::Machine& host_;
+    std::string name_;
+    sim::Simulator& sim_;
+
+    std::vector<std::unique_ptr<pcie::PciFunction>> pfs_;
+    std::vector<std::unique_ptr<NicQueue>> queues_;
+    std::vector<NetdevView> netdevs_;
+    std::unordered_map<FiveTuple, int> steering_;
+
+    Wire* wire_ = nullptr;
+    NicSink* sink_ = nullptr;
+    bool octoSg_ = false;
+    bool bondMode_ = false;
+    Tick rxCoalesce_ = 0;
+    Tick txIssueGap_ = sim::fromNs(15);
+
+    std::vector<Task<>> engines_;
+    std::uint64_t rxDrops_ = 0;
+};
+
+} // namespace octo::nic

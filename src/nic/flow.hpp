@@ -1,0 +1,71 @@
+/**
+ * @file
+ * IP flow identification. A flow is uniquely identified by its 5-tuple
+ * (source IP, source port, destination IP, destination port, protocol) —
+ * the key both ARFS and IOctoRFS steer by.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace octo::nic {
+
+/** Transport protocols the model distinguishes. */
+enum class Proto : std::uint8_t
+{
+    Tcp = 6,
+    Udp = 17,
+};
+
+/** An IP flow 5-tuple. */
+struct FiveTuple
+{
+    std::uint32_t srcIp = 0;
+    std::uint32_t dstIp = 0;
+    std::uint16_t srcPort = 0;
+    std::uint16_t dstPort = 0;
+    Proto proto = Proto::Tcp;
+
+    bool
+    operator==(const FiveTuple& o) const
+    {
+        return srcIp == o.srcIp && dstIp == o.dstIp &&
+               srcPort == o.srcPort && dstPort == o.dstPort &&
+               proto == o.proto;
+    }
+
+    /** The reverse direction of this flow. */
+    FiveTuple
+    reversed() const
+    {
+        return FiveTuple{dstIp, srcIp, dstPort, srcPort, proto};
+    }
+
+    /** Stable hash, used for RSS-style default steering. */
+    std::uint64_t
+    hash() const
+    {
+        std::uint64_t h = srcIp;
+        h = h * 0x100000001B3ull ^ dstIp;
+        h = h * 0x100000001B3ull ^ srcPort;
+        h = h * 0x100000001B3ull ^ dstPort;
+        h = h * 0x100000001B3ull ^ static_cast<std::uint8_t>(proto);
+        h ^= h >> 33;
+        h *= 0xFF51AFD7ED558CCDull;
+        h ^= h >> 33;
+        return h;
+    }
+};
+
+} // namespace octo::nic
+
+template <>
+struct std::hash<octo::nic::FiveTuple>
+{
+    std::size_t
+    operator()(const octo::nic::FiveTuple& f) const noexcept
+    {
+        return static_cast<std::size_t>(f.hash());
+    }
+};

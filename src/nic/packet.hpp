@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Wire frames, transmit descriptors, and completion entries exchanged
+ * between the NIC model and the OS model.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "mem/cache.hpp"
+#include "nic/flow.hpp"
+#include "sim/sync.hpp"
+#include "sim/time.hpp"
+
+namespace octo::nic {
+
+/** One Ethernet frame on the wire (payload up to one MTU). */
+struct Frame
+{
+    FiveTuple flow;
+    std::uint32_t payloadBytes = 0;
+    std::uint64_t seq = 0;       ///< Per-flow sequence for OOO detection.
+    sim::Tick sentAt = 0;        ///< Application send timestamp.
+    bool lastOfMessage = false;  ///< Marks a message boundary (RR-style).
+};
+
+/**
+ * A transmit descriptor handed to the NIC. With TSO, @p bytes may be up
+ * to 64 KB; the NIC segments onto the wire in MTU units.
+ */
+struct TxDesc
+{
+    FiveTuple flow;
+    std::uint32_t bytes = 0;
+    int skbNode = 0;              ///< NUMA node holding the payload.
+    mem::DataLoc loc = mem::DataLoc::Llc; ///< Payload residency.
+    std::uint64_t seqStart = 0;
+    sim::Tick sentAt = 0;
+    bool lastOfMessage = false;
+    /** Fast-path (pktgen-style) descriptor: cheaper completion cost. */
+    bool fastPath = false;
+    /** IOctoSG (§3.3): bytes of the payload residing on a *second* NUMA
+     *  node (sendfile-style buffers can span nodes). With IOctoSG the
+     *  driver hints which PF should fetch each fragment; without it the
+     *  queue's PF fetches everything, paying NUDMA for the far part. */
+    std::uint32_t spanBytes = 0;
+    int spanNode = 0;
+    /** Released (1 credit) when the Tx completion is processed; lets
+     *  closed-loop producers bound their in-flight descriptors. */
+    sim::Semaphore* completionSem = nullptr;
+};
+
+/** Receive-completion entry: one wire frame landed in host memory. */
+struct RxCompletion
+{
+    Frame frame;
+    mem::DataLoc dataLoc = mem::DataLoc::Dram; ///< Payload residency.
+    mem::DataLoc cqeLoc = mem::DataLoc::Dram;  ///< Completion-entry
+                                               ///< residency (the 80 ns
+                                               ///< pktgen delta lives
+                                               ///< here).
+    int bufNode = 0;
+};
+
+/** Transmit-completion entry. */
+struct TxCompletion
+{
+    TxDesc desc;
+    mem::DataLoc cqeLoc = mem::DataLoc::Dram;
+};
+
+} // namespace octo::nic

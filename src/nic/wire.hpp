@@ -1,0 +1,56 @@
+/**
+ * @file
+ * The Ethernet wire: a full-duplex link connecting two NIC ports
+ * back-to-back (the paper's client/server setup, §5).
+ */
+#pragma once
+
+#include <cassert>
+
+#include "sim/pipe.hpp"
+#include "sim/simulator.hpp"
+
+namespace octo::nic {
+
+class NicDevice;
+
+/** Full-duplex point-to-point Ethernet link. */
+class Wire
+{
+  public:
+    Wire(sim::Simulator& sim, double gbps, sim::Tick latency)
+        : link_(sim, gbps, latency, "wire")
+    {
+    }
+
+    /** Connect both endpoints; must be called exactly once. */
+    void
+    attach(NicDevice* a, NicDevice* b)
+    {
+        assert(!ends_[0] && !ends_[1]);
+        ends_[0] = a;
+        ends_[1] = b;
+    }
+
+    /** The pipe carrying frames toward @p dst. */
+    sim::Pipe&
+    towards(const NicDevice* dst)
+    {
+        assert(dst == ends_[0] || dst == ends_[1]);
+        return dst == ends_[1] ? link_.forward() : link_.backward();
+    }
+
+    /** The device on the other end of the link from @p self. */
+    NicDevice*
+    peer(const NicDevice* self) const
+    {
+        assert(self == ends_[0] || self == ends_[1]);
+        return self == ends_[0] ? ends_[1] : ends_[0];
+    }
+
+  private:
+    sim::DuplexLink link_;
+    NicDevice* ends_[2] = {nullptr, nullptr};
+};
+
+} // namespace octo::nic

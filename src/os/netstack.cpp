@@ -1,0 +1,486 @@
+#include "os/netstack.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace octo::os {
+
+using mem::DataLoc;
+using nic::RxCompletion;
+using nic::TxDesc;
+using sim::Task;
+using sim::Tick;
+using sim::delay;
+using sim::fromNs;
+using sim::fromUs;
+
+NetStack::NetStack(topo::Machine& machine, nic::NicDevice& device,
+                   StackConfig cfg)
+    : machine_(machine), device_(device), cfg_(cfg), sim_(machine.sim())
+{
+    device_.setSink(this);
+    if (cfg_.steerExpiry > 0)
+        expiry_ = expiryWorker();
+}
+
+NetStack::~NetStack() = default;
+
+void
+NetStack::mapCoreToQueue(int core_id, int qid)
+{
+    xps_[core_id] = qid;
+}
+
+void
+NetStack::mapCoreToQueueInDomain(int core_id, int domain, int qid)
+{
+    xpsDomain_[(static_cast<std::int64_t>(domain) << 32) | core_id] =
+        qid;
+}
+
+int
+NetStack::queueForCore(int core_id, int domain) const
+{
+    if (domain >= 0) {
+        auto it = xpsDomain_.find(
+            (static_cast<std::int64_t>(domain) << 32) | core_id);
+        if (it != xpsDomain_.end())
+            return it->second;
+    }
+    auto it = xps_.find(core_id);
+    return it != xps_.end() ? it->second : 0;
+}
+
+Socket&
+NetStack::createSocket(const nic::FiveTuple& rx_flow)
+{
+    return createSocket(rx_flow, cfg_.windowBytes, cfg_.tso);
+}
+
+Socket&
+NetStack::createSocket(const nic::FiveTuple& rx_flow, std::uint64_t window,
+                       bool tso)
+{
+    sockets_.push_back(
+        std::make_unique<Socket>(sim_, rx_flow, window, tso));
+    Socket& s = *sockets_.back();
+    demux_[rx_flow] = &s;
+    return s;
+}
+
+void
+NetStack::pair(Socket& a, Socket& b)
+{
+    assert(a.rxFlow == b.txFlow && b.rxFlow == a.txFlow);
+    a.peer = &b;
+    b.peer = &a;
+}
+
+Task<>
+NetStack::send(ThreadCtx& t, Socket& sock, std::uint64_t bytes,
+               bool last_of_message)
+{
+    const auto& cal = machine_.cal();
+    const Tick sent_at = sim_.now();
+
+    // The thread may be migrated while blocked; track the core whose
+    // mutex is actually held so acquire/release always pair up.
+    topo::Core* held = &t.core();
+    co_await held->mutex().acquire();
+    co_await delay(sim_, cal.txSyscall);
+    held->addBusy(cal.txSyscall);
+
+    std::uint64_t left = bytes;
+    while (left > 0) {
+        const std::uint32_t max_seg =
+            (sock.tso && cfg_.tso) ? (64u << 10) : cal.mtu;
+        const auto seg = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(left, max_seg));
+
+        // Flow-control window; never hold the core while blocked.
+        if (!sock.txWindow.tryAcquire(seg)) {
+            held->mutex().release();
+            co_await sock.txWindow.acquire(seg);
+            held = &t.core(); // a migrated thread wakes on its new core
+            co_await held->mutex().acquire();
+        }
+
+        // Copy from user into a locally-allocated skb (write-allocates
+        // into the cache). Cold sources additionally stream from DRAM.
+        const Tick copy_cpu = fromNs(seg / cal.txCopyGBps);
+        co_await delay(sim_, copy_cpu);
+        held->addBusy(copy_cpu);
+        if (sock.txSourceCold) {
+            const Tick l = co_await machine_.memTransfer(
+                t.node(), t.node(), seg, topo::MemDir::Read);
+            held->addBusy(l);
+        }
+
+        // Nagle/autocork: sub-MTU writes accumulate while data is in
+        // flight; a descriptor is posted once an MTU's worth gathered
+        // or the pipe is otherwise idle.
+        sock.coalesced += seg;
+        left -= seg;
+        const bool pipe_idle =
+            static_cast<std::uint64_t>(sock.txWindow.count()) +
+                sock.coalesced >=
+            sock.windowBytes;
+        const bool push = last_of_message && left == 0;
+        if (sock.coalesced < cal.mtu && !pipe_idle && !push)
+            continue;
+
+        // Post the descriptor to the XPS-selected queue and ring the
+        // doorbell (posted MMIO).
+        const Tick post = cal.txPostSegment + cal.mmioCpuCost;
+        co_await delay(sim_, post);
+        held->addBusy(post);
+
+        TxDesc d;
+        d.flow = sock.txFlow;
+        d.bytes = static_cast<std::uint32_t>(sock.coalesced);
+        sock.coalesced = 0;
+        d.skbNode = t.node();
+        d.loc = DataLoc::Llc;
+        d.seqStart = sock.nextTxWireSeq;
+        sock.nextTxWireSeq += (d.bytes + cal.mtu - 1) / cal.mtu;
+        d.sentAt = sent_at;
+        d.lastOfMessage = last_of_message && left == 0;
+        co_await device_.postTx(
+            queueForCore(t.core().id(), sock.steerDomain), d);
+    }
+    held->mutex().release();
+}
+
+Task<>
+NetStack::recv(ThreadCtx& t, Socket& sock, std::uint64_t bytes)
+{
+    const auto& cal = machine_.cal();
+
+    // ARFS: the kernel notices the consuming thread's CPU on each recv
+    // and asks the driver to re-steer the flow when it moved (§2.3).
+    if (cfg_.autoSteer && sock.lastRxCore != t.core().id()) {
+        flowMoved(sock, t.core());
+        sock.lastRxCore = t.core().id();
+    }
+
+    topo::Core* held = &t.core();
+    co_await held->mutex().acquire();
+    co_await delay(sim_, cal.rxSyscall);
+    held->addBusy(cal.rxSyscall);
+
+    std::uint64_t need = bytes;
+    while (need > 0) {
+        if (sock.rxq.empty()) {
+            held->mutex().release();
+            co_await sock.dataReady.wait();
+            held = &t.core(); // wake on the (possibly new) core
+            co_await held->mutex().acquire();
+            co_await delay(sim_, cal.wakeupCost);
+            held->addBusy(cal.wakeupCost);
+            continue;
+        }
+        RxSeg& front = sock.rxq.front();
+        const auto take = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(front.bytes, need));
+        RxSeg part = front;
+        part.bytes = take;
+        const Tick spent = co_await copySegIn(t.node(), part);
+        held->addBusy(spent);
+        need -= take;
+        sock.rxBytesAvail -= take;
+        sock.bytesDelivered += take;
+        if (take == front.bytes)
+            sock.rxq.pop_front();
+        else
+            front.bytes -= take;
+
+        // Abstracted ack/receive-window update: consuming frees socket
+        // buffer; the sender's credit returns after one wire flight.
+        if (sock.peer != nullptr) {
+            Socket* peer = sock.peer;
+            sim_.scheduleIn(cal.wireLatency + fromNs(500),
+                            [peer, take] { peer->txWindow.release(take); });
+        }
+    }
+    held->mutex().release();
+}
+
+Task<Tick>
+NetStack::copySegIn(int node, const RxSeg& seg)
+{
+    const auto& cal = machine_.cal();
+    const Tick start = sim_.now();
+
+    std::uint64_t hit = 0;
+    std::uint64_t miss = 0;
+    if (seg.loc == DataLoc::Llc && seg.node == node) {
+        // DDIO put the payload in this node's LLC; under cache pressure
+        // a fraction has been evicted by the time we copy.
+        const double hf = machine_.llc(node).hitFraction();
+        hit = static_cast<std::uint64_t>(seg.bytes * hf);
+        miss = seg.bytes - hit;
+    } else {
+        // DRAM-resident, or cached in the *other* node's LLC (steering
+        // lag) — either way the lines stream over the memory path.
+        miss = seg.bytes;
+    }
+
+    const Tick cpu =
+        fromNs(hit / cal.copyLlcGBps + miss / cal.copyMissCpuGBps);
+    co_await delay(sim_, cpu);
+    if (miss > 0) {
+        // The missing lines stream over the memory path (and the
+        // interconnect when the buffer is remote), and the copy
+        // destination is written back — the paper's observed 3x memory
+        // bandwidth for remote Rx (Fig. 6b). Short copies overlap the
+        // leading-edge miss latency with prefetch/OOO execution.
+        const double exposure = std::min(1.0, miss / 2048.0);
+        co_await machine_.memTransfer(node, seg.node, miss,
+                                      topo::MemDir::Read, exposure);
+        machine_.dram(node).reserve(miss);
+    }
+    co_return sim_.now() - start;
+}
+
+Task<>
+NetStack::rawPost(ThreadCtx& t, const nic::FiveTuple& flow,
+                  std::uint32_t bytes, sim::Semaphore& inflight)
+{
+    const auto& cal = machine_.cal();
+    topo::Core* held = &t.core();
+    co_await held->mutex().acquire();
+    co_await delay(sim_, cal.pktgenPerPacket);
+    held->addBusy(cal.pktgenPerPacket);
+
+    TxDesc d;
+    d.flow = flow;
+    d.bytes = bytes;
+    d.skbNode = t.node();
+    d.loc = DataLoc::Llc;
+    d.fastPath = true;
+    d.completionSem = &inflight;
+    d.sentAt = sim_.now();
+    co_await device_.postTx(queueForCore(t.core().id()), d);
+    held->mutex().release();
+}
+
+void
+NetStack::rxReady(int qid)
+{
+    softirqRx(qid).detach();
+}
+
+void
+NetStack::txReady(int qid)
+{
+    softirqTx(qid).detach();
+}
+
+Task<>
+NetStack::softirqRx(int qid)
+{
+    nic::NicQueue& q = device_.queue(qid);
+    topo::Core& c = *q.irqCore;
+    const auto& cal = machine_.cal();
+
+    co_await c.mutex().acquire();
+    int in_hold = 0;
+    for (;;) {
+        auto oc = q.rxCq.tryPop();
+        if (!oc)
+            break;
+        RxCompletion comp = *oc;
+        const Tick t0 = sim_.now();
+
+        auto frameCost = [&](const RxCompletion& f) -> sim::Task<> {
+            // Read the completion entry the device wrote: an LLC hit
+            // with DDIO, or a DRAM miss when the device is remote (the
+            // line the NIC invalidated).
+            if (f.cqeLoc == DataLoc::Llc && f.bufNode == c.node()) {
+                co_await delay(sim_, cal.llcLatency);
+            } else if (f.cqeLoc == DataLoc::Llc) {
+                // Ring homed on the device's node (§2.4 remote-DDIO
+                // ablation): the entry is forwarded cache-to-cache
+                // across the interconnect — marginally cheaper than a
+                // local DRAM miss.
+                co_await delay(sim_,
+                               cal.qpiLatency + cal.llcLatency +
+                                   cal.rxRemoteDescMiss);
+            } else {
+                // The line was just posted by the remote device; the
+                // read serializes behind the device's in-flight writes
+                // on the interconnect, so under congestion (Fig. 11)
+                // the wait grows with the load — bounded by the home
+                // agent's read-queue cap.
+                sim::FairPipe& link =
+                    machine_.qpi(q.pf->node(), c.node());
+                const Tick backlog =
+                    std::min(link.backlog(), cal.remoteMissWaitCap);
+                machine_.dram(f.bufNode).reserve(64ull * cal.cqeLines);
+                co_await delay(sim_, cal.dramLatency + cal.qpiLatency +
+                                          backlog +
+                                          cal.rxRemoteDescMiss);
+            }
+            co_await delay(sim_, cal.rxFrameKernel);
+        };
+
+        co_await frameCost(comp);
+        int frames = 1;
+        std::uint32_t merged = comp.frame.payloadBytes;
+        bool last_flag = comp.frame.lastOfMessage;
+
+        // GRO: merge immediately-following in-order frames of the same
+        // flow into one segment before handing it to the stack.
+        while (merged < cal.groMaxBytes && in_hold + frames <
+                                               cfg_.rxBudget) {
+            const RxCompletion* next = q.rxCq.peek();
+            if (next == nullptr || !(next->frame.flow == comp.frame.flow) ||
+                next->frame.seq != comp.frame.seq + frames ||
+                next->dataLoc != comp.dataLoc) {
+                break;
+            }
+            RxCompletion f = *q.rxCq.tryPop();
+            co_await frameCost(f);
+            merged += f.frame.payloadBytes;
+            last_flag = f.frame.lastOfMessage;
+            ++frames;
+        }
+
+        // Per-segment protocol/socket work.
+        co_await delay(sim_, cal.rxSegmentKernel);
+        c.addBusy(sim_.now() - t0);
+
+        q.rxCredits.release(frames); // replenish the Rx ring
+        q.rxReaped += frames;
+        rxPackets_ += frames;
+
+        auto it = demux_.find(comp.frame.flow);
+        if (it == demux_.end()) {
+            ++unmatched_;
+        } else {
+            Socket* s = it->second;
+            s->lastRxAt = sim_.now();
+            if (comp.frame.seq != s->expectedRxSeq)
+                ++s->oooEvents;
+            s->expectedRxSeq = comp.frame.seq + frames;
+            s->rxq.push_back(RxSeg{merged, comp.dataLoc, comp.bufNode,
+                                   comp.frame.sentAt, last_flag});
+            s->rxBytesAvail += merged;
+            if (last_flag)
+                ++s->rxMsgsAvail;
+            rxBytesDelivered_ += merged;
+            s->dataReady.notify();
+        }
+
+        // NAPI budget: yield the core so application threads interleave.
+        in_hold += frames;
+        if (in_hold >= cfg_.rxBudget) {
+            in_hold = 0;
+            c.mutex().release();
+            co_await delay(sim_, 0);
+            co_await c.mutex().acquire();
+        }
+    }
+    c.mutex().release();
+    device_.rearmRxIrq(qid);
+}
+
+Task<>
+NetStack::softirqTx(int qid)
+{
+    nic::NicQueue& q = device_.queue(qid);
+    topo::Core& c = *q.irqCore;
+    const auto& cal = machine_.cal();
+
+    co_await c.mutex().acquire();
+    int in_hold = 0;
+    for (;;) {
+        auto oc = q.txCq.tryPop();
+        if (!oc)
+            break;
+        const nic::TxCompletion& comp = *oc;
+        const Tick t0 = sim_.now();
+        if (comp.cqeLoc == DataLoc::Llc && q.bufNode == c.node()) {
+            co_await delay(sim_, cal.llcLatency);
+        } else if (comp.cqeLoc == DataLoc::Llc) {
+            // Completion ring homed on the device's node: entry is
+            // forwarded cache-to-cache across the interconnect (§2.4).
+            co_await delay(sim_, cal.qpiLatency + cal.llcLatency);
+        } else {
+            co_await machine_.memTransfer(c.node(), q.bufNode,
+                                          64ull * cal.cqeLines,
+                                          topo::MemDir::Read);
+        }
+        const Tick handler = comp.desc.fastPath ? cal.txCompletionFast
+                                                : cal.txCompletionTcp;
+        co_await delay(sim_, handler);
+        c.addBusy(sim_.now() - t0);
+        if (comp.desc.completionSem != nullptr)
+            comp.desc.completionSem->release();
+
+        if (++in_hold >= cfg_.rxBudget) {
+            in_hold = 0;
+            c.mutex().release();
+            co_await delay(sim_, 0);
+            co_await c.mutex().acquire();
+        }
+    }
+    c.mutex().release();
+    device_.rearmTxIrq(qid);
+}
+
+Task<>
+NetStack::expiryWorker()
+{
+    // The driver's periodic rule-expiry thread (§4.2): forget steering
+    // state for flows that went quiet; their next packets fall back to
+    // RSS until the ARFS callback re-installs a rule.
+    for (;;) {
+        co_await delay(sim_, cfg_.steerExpiry);
+        for (auto& s : sockets_) {
+            if (s->lastRxCore < 0)
+                continue;
+            if (sim_.now() - s->lastRxAt > cfg_.steerExpiry) {
+                device_.clearFlow(s->rxFlow);
+                s->lastRxCore = -1; // next recv re-installs
+                ++steeringExpiries_;
+            }
+        }
+    }
+}
+
+void
+NetStack::flowMoved(Socket& sock, topo::Core& core)
+{
+    if (xps_.empty())
+        return;
+    const int new_q = queueForCore(core.id(), sock.steerDomain);
+    const int old_q = device_.classify(sock.rxFlow);
+    if (old_q == new_q)
+        return;
+    // A socket pinned to one netdev cannot be re-steered to queues of
+    // another physical device (§2.5 two-NICs limitation).
+    if (sock.steerDomain >= 0 && queueDomain(new_q) != sock.steerDomain)
+        return;
+    ++steeringUpdates_;
+    applySteer(sock.rxFlow, old_q, new_q).detach();
+}
+
+Task<>
+NetStack::applySteer(nic::FiveTuple flow, int old_qid, int new_qid)
+{
+    const auto& cal = machine_.cal();
+    // Asynchronous kernel-worker update (§4.2)...
+    co_await delay(sim_, cal.arfsUpdateDelay);
+    // ...applied once the packets enqueued on the old queue before the
+    // update have been processed (the ooo_okay/drain discipline). Under
+    // continuous load the queue is never *empty*, so wait for the
+    // completion counter to pass the snapshot instead.
+    nic::NicQueue& old_q = device_.queue(old_qid);
+    const std::uint64_t target = old_q.rxReaped + old_q.rxCq.size();
+    while (old_q.rxReaped < target)
+        co_await delay(sim_, fromUs(5));
+    device_.steerFlow(flow, new_qid);
+}
+
+} // namespace octo::os

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The OS network stack model.
+ *
+ * One NetStack corresponds to one netdev (network interface). It owns the
+ * socket demultiplexer, the XPS core-to-Tx-queue mapping, the softirq
+ * (NAPI) receive/transmit-completion processing, and the ARFS plumbing
+ * that reacts to thread migration — exactly the machinery the IOctopus
+ * driver piggybacks on (paper §3.4, §4.2).
+ *
+ * In an IOctopus configuration a single NetStack spans queues bound to
+ * PFs on *both* sockets (the team-device view); in standard
+ * configurations each PF's netdev gets its own NetStack.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "nic/device.hpp"
+#include "os/socket.hpp"
+#include "os/thread.hpp"
+#include "sim/task.hpp"
+
+namespace octo::os {
+
+/** Tunables for one netdev's stack. */
+struct StackConfig
+{
+    /** Sender flow-control window. Kept below Rx-ring capacity so that
+     *  backpressure, not loss, bounds the stream (back-to-back link). */
+    std::uint64_t windowBytes = 480u << 10;
+    bool tso = true;
+    /** NAPI poll budget per core-hold (packets). */
+    int rxBudget = 64;
+    /** Auto-install/update flow steering on consumer migration (ARFS /
+     *  IOctoRFS). */
+    bool autoSteer = true;
+    /** Steering-rule expiry scan period (0 disables). A kernel worker
+     *  periodically deletes rules for flows with no recent traffic
+     *  (paper §4.2). */
+    sim::Tick steerExpiry = 0;
+};
+
+/**
+ * Per-netdev network stack: sockets, XPS, ARFS, softirq processing.
+ */
+class NetStack : public nic::NicSink
+{
+  public:
+    NetStack(topo::Machine& machine, nic::NicDevice& device,
+             StackConfig cfg = {});
+    ~NetStack() override;
+
+    NetStack(const NetStack&) = delete;
+    NetStack& operator=(const NetStack&) = delete;
+
+    topo::Machine& machine() { return machine_; }
+    nic::NicDevice& device() { return device_; }
+    const StackConfig& config() const { return cfg_; }
+
+    // ------------------------------------------------------------ setup
+    /** XPS: Tx (and ARFS target) queue used by threads on @p core_id. */
+    void mapCoreToQueue(int core_id, int qid);
+
+    /** Per-netdev XPS entry for multi-netdev (bonded/two-NIC) setups. */
+    void mapCoreToQueueInDomain(int core_id, int domain, int qid);
+
+    /** Queue for @p core_id; with @p domain >= 0 the lookup is confined
+     *  to that netdev's map (a socket pinned to one member link). */
+    int queueForCore(int core_id, int domain = -1) const;
+
+    /** Assign @p qid to a steering domain (one per netdev). */
+    void setQueueDomain(int qid, int domain) { qidDomain_[qid] = domain; }
+
+    int
+    queueDomain(int qid) const
+    {
+        auto it = qidDomain_.find(qid);
+        return it != qidDomain_.end() ? it->second : -1;
+    }
+
+    /** Create a socket whose *incoming* traffic matches @p rx_flow. */
+    Socket& createSocket(const nic::FiveTuple& rx_flow);
+
+    Socket& createSocket(const nic::FiveTuple& rx_flow,
+                         std::uint64_t window, bool tso);
+
+    /** Connect two endpoints (one per host) into a full-duplex pair. */
+    static void pair(Socket& a, Socket& b);
+
+    // -------------------------------------------------------- data path
+    /**
+     * Blocking send of @p bytes on @p sock from thread @p t: syscall
+     * cost, copy from user, TSO segmentation, XPS queue selection,
+     * descriptor post + doorbell. Suspends on window backpressure.
+     */
+    sim::Task<> send(ThreadCtx& t, Socket& sock, std::uint64_t bytes,
+                     bool last_of_message = true);
+
+    /** Blocking receive of exactly @p bytes (stream semantics). */
+    sim::Task<> recv(ThreadCtx& t, Socket& sock, std::uint64_t bytes);
+
+    /**
+     * pktgen-style raw transmit: no socket, no copy; one MTU-or-smaller
+     * frame per call. @p inflight must have been acquired by the caller;
+     * it is released when the Tx completion is reaped.
+     */
+    sim::Task<> rawPost(ThreadCtx& t, const nic::FiveTuple& flow,
+                        std::uint32_t bytes, sim::Semaphore& inflight);
+
+    // -------------------------------------------------- NicSink (IRQs)
+    void rxReady(int qid) override;
+    void txReady(int qid) override;
+
+    // ------------------------------------------------------- statistics
+    std::uint64_t rxPacketsProcessed() const { return rxPackets_; }
+    std::uint64_t rxBytesDelivered() const { return rxBytesDelivered_; }
+    std::uint64_t unmatchedFrames() const { return unmatched_; }
+    std::uint64_t steeringUpdates() const { return steeringUpdates_; }
+    std::uint64_t steeringExpiries() const { return steeringExpiries_; }
+
+  private:
+    sim::Task<> softirqRx(int qid);
+    sim::Task<> expiryWorker();
+    sim::Task<> softirqTx(int qid);
+
+    /** ARFS callback path: the flow's consumer now runs on @p core. */
+    void flowMoved(Socket& sock, topo::Core& core);
+
+    /** Kernel-worker steering update: delay, drain, program the NIC. */
+    sim::Task<> applySteer(nic::FiveTuple flow, int old_qid, int new_qid);
+
+    /** Copy @p seg's payload into user memory on @p node; returns the
+     *  time spent (caller charges the core). */
+    sim::Task<sim::Tick> copySegIn(int node, const RxSeg& seg);
+
+    topo::Machine& machine_;
+    nic::NicDevice& device_;
+    StackConfig cfg_;
+    sim::Simulator& sim_;
+
+    std::unordered_map<int, int> xps_;
+    std::unordered_map<std::int64_t, int> xpsDomain_; ///< (domain,core)
+    std::unordered_map<int, int> qidDomain_;
+    std::unordered_map<nic::FiveTuple, Socket*> demux_;
+    std::vector<std::unique_ptr<Socket>> sockets_;
+
+    std::uint64_t rxPackets_ = 0;
+    std::uint64_t rxBytesDelivered_ = 0;
+    std::uint64_t unmatched_ = 0;
+    std::uint64_t steeringUpdates_ = 0;
+    std::uint64_t steeringExpiries_ = 0;
+    sim::Task<> expiry_;
+};
+
+} // namespace octo::os

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * A load-balancing scheduler model.
+ *
+ * The paper's §2.2 surveys NUDMA-aware scheduling — pinning I/O threads
+ * to the device's node, migrating them away when it overloads — and
+ * §3.4 argues IOctopus lets the scheduler "disregard NUDMA
+ * considerations in its scheduling decisions". This module provides the
+ * two policies so that claim can be measured (bench_s25_baselines):
+ *
+ *  - **FreeBalance**: periodically move the busiest eligible thread to
+ *    the least-loaded core anywhere in the machine (CPU-optimal,
+ *    NUDMA-oblivious).
+ *  - **NicLocal**: the same, but only considers cores on the NIC's
+ *    node — the state-of-the-art workaround that sacrifices half the
+ *    machine's cores to avoid NUDMA.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "os/thread.hpp"
+#include "sim/task.hpp"
+#include "topo/machine.hpp"
+
+namespace octo::os {
+
+/** Scheduling policy. */
+enum class SchedPolicy
+{
+    FreeBalance, ///< Balance across all cores (NUDMA-oblivious).
+    NicLocal,    ///< Balance only within the NIC-local node.
+};
+
+/**
+ * Periodic load balancer over a set of managed threads.
+ *
+ * Load is measured as each core's busy-time delta over the balancing
+ * interval; on every tick the thread on the most-loaded managed core is
+ * migrated to the least-loaded eligible core (hysteresis: only when the
+ * imbalance exceeds 10%).
+ */
+class LoadBalancer
+{
+  public:
+    /**
+     * @param nic_node Node considered "local" by the NicLocal policy.
+     * @param interval Balancing period (Linux rebalances on the order
+     *                 of milliseconds).
+     */
+    LoadBalancer(topo::Machine& m, SchedPolicy policy, int nic_node,
+                 sim::Tick interval = sim::fromMs(2))
+        : machine_(m), policy_(policy), nicNode_(nic_node),
+          interval_(interval)
+    {
+    }
+
+    /** Place @p t under this balancer's management. */
+    void manage(ThreadCtx& t) { threads_.push_back(&t); }
+
+    void start() { loop_ = run(); }
+
+    std::uint64_t migrations() const { return migrations_; }
+
+  private:
+    bool
+    eligible(int core_id) const
+    {
+        if (policy_ == SchedPolicy::FreeBalance)
+            return true;
+        return machine_.core(core_id).node() == nicNode_;
+    }
+
+    sim::Task<>
+    run()
+    {
+        std::vector<sim::Tick> prev(machine_.totalCores(), 0);
+        for (;;) {
+            co_await sim::delay(machine_.sim(), interval_);
+
+            // Busy-time deltas over the last interval.
+            std::vector<sim::Tick> load(machine_.totalCores(), 0);
+            for (int c = 0; c < machine_.totalCores(); ++c) {
+                const sim::Tick busy = machine_.core(c).busyTime();
+                load[c] = busy - prev[c];
+                prev[c] = busy;
+            }
+
+            // Busiest managed thread and least-loaded eligible core.
+            ThreadCtx* victim = nullptr;
+            sim::Tick victim_load = 0;
+            for (ThreadCtx* t : threads_) {
+                const sim::Tick l = load[t->core().id()];
+                if (l > victim_load) {
+                    victim_load = l;
+                    victim = t;
+                }
+            }
+            if (victim == nullptr)
+                continue;
+            int best = -1;
+            sim::Tick best_load = 0;
+            for (int c = 0; c < machine_.totalCores(); ++c) {
+                if (!eligible(c) || c == victim->core().id())
+                    continue;
+                if (best < 0 || load[c] < best_load) {
+                    best = c;
+                    best_load = load[c];
+                }
+            }
+            if (best < 0)
+                continue;
+            // Hysteresis: move only on a clear imbalance.
+            if (victim_load <= best_load + interval_ / 10)
+                continue;
+            ++migrations_;
+            co_await victim->migrate(machine_.core(best));
+        }
+    }
+
+    topo::Machine& machine_;
+    SchedPolicy policy_;
+    int nicNode_;
+    sim::Tick interval_;
+    std::vector<ThreadCtx*> threads_;
+    std::uint64_t migrations_ = 0;
+    sim::Task<> loop_;
+};
+
+} // namespace octo::os

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Thread execution context: which core a software thread currently runs
+ * on, plus migration (sched_setaffinity) semantics.
+ */
+#pragma once
+
+#include "sim/task.hpp"
+#include "topo/machine.hpp"
+
+namespace octo::os {
+
+using sim::Task;
+using sim::Tick;
+
+/**
+ * Execution context for an application thread. The paper's experiments
+ * pin threads to cores; migration happens only via explicit
+ * sched_setaffinity calls (Fig. 14).
+ */
+class ThreadCtx
+{
+  public:
+    ThreadCtx(topo::Machine& machine, topo::Core& core)
+        : machine_(&machine), core_(&core)
+    {
+    }
+
+    topo::Machine& machine() { return *machine_; }
+    topo::Core& core() { return *core_; }
+    int node() const { return core_->node(); }
+
+    /**
+     * Migrate the thread to @p target (sched_setaffinity). Charges a
+     * one-time migration cost on the destination core; subsequent
+     * syscalls run there, which is what triggers the XPS re-selection
+     * and the ARFS callback in the stack.
+     */
+    Task<>
+    migrate(topo::Core& target)
+    {
+        core_ = &target;
+        co_await target.compute(sim::fromUs(3.0));
+    }
+
+  private:
+    topo::Machine* machine_;
+    topo::Core* core_;
+};
+
+} // namespace octo::os

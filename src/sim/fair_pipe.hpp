@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fair-share bandwidth server.
+ *
+ * A FairPipe serves transfer requests in round-robin quanta across
+ * requester classes, approximating the per-agent arbitration of a real
+ * interconnect: under saturation each active class receives an equal
+ * bandwidth share, regardless of how many bytes it keeps outstanding.
+ * (A plain FIFO Pipe instead hands out bandwidth proportional to
+ * queued bytes, which lets a deep-queued DMA engine starve streaming
+ * cores — the opposite of what QPI/UPI home agents do.)
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace octo::sim {
+
+/** Round-robin fair-share bandwidth server. */
+class FairPipe
+{
+  public:
+    /** Scheduling quantum: one cache-line burst train. */
+    static constexpr std::uint64_t kQuantum = 4096;
+
+    FairPipe(Simulator& sim, double gbps, std::string name = "fair")
+        : sim_(sim), gbps_(gbps), name_(std::move(name))
+    {
+    }
+
+    FairPipe(const FairPipe&) = delete;
+    FairPipe& operator=(const FairPipe&) = delete;
+
+    double rateGbps() const { return gbps_; }
+    std::uint64_t totalBytes() const { return totalBytes_; }
+    Tick busyTime() const { return busy_; }
+
+    /** Total queued backlog, expressed as service time. */
+    Tick
+    backlog() const
+    {
+        return transferTime(backlogBytes_, gbps_);
+    }
+
+    /**
+     * Transfer @p bytes on behalf of requester class @p cls; suspends
+     * until the last quantum has been served.
+     */
+    auto
+    transfer(int cls, std::uint64_t bytes)
+    {
+        struct Awaiter
+        {
+            FairPipe& p;
+            int cls;
+            std::uint64_t bytes;
+
+            bool await_ready() const { return bytes == 0; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                p.enqueue(cls, bytes, h);
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{*this, cls, bytes};
+    }
+
+  private:
+    struct Req
+    {
+        std::uint64_t remaining;
+        std::coroutine_handle<> h;
+    };
+
+    void
+    enqueue(int cls, std::uint64_t bytes, std::coroutine_handle<> h)
+    {
+        auto& q = queues_[cls];
+        if (q.empty())
+            rr_.push_back(cls);
+        q.push_back(Req{bytes, h});
+        backlogBytes_ += bytes;
+        if (!serving_) {
+            serving_ = true;
+            serve().detach();
+        }
+    }
+
+    Task<>
+    serve()
+    {
+        while (!rr_.empty()) {
+            const int cls = rr_.front();
+            rr_.pop_front();
+            auto& q = queues_[cls];
+            Req& r = q.front();
+            const std::uint64_t quantum =
+                r.remaining < kQuantum ? r.remaining : kQuantum;
+            const Tick service = transferTime(quantum, gbps_);
+            co_await delay(sim_, service);
+            busy_ += service;
+            totalBytes_ += quantum;
+            backlogBytes_ -= quantum;
+            r.remaining -= quantum;
+            if (r.remaining == 0) {
+                sim_.scheduleResume(0, r.h);
+                q.pop_front();
+            }
+            if (!q.empty())
+                rr_.push_back(cls);
+        }
+        serving_ = false;
+    }
+
+    Simulator& sim_;
+    double gbps_;
+    std::string name_;
+
+    std::map<int, std::deque<Req>> queues_;
+    std::deque<int> rr_;
+    bool serving_ = false;
+    std::uint64_t backlogBytes_ = 0;
+    std::uint64_t totalBytes_ = 0;
+    Tick busy_ = 0;
+};
+
+} // namespace octo::sim

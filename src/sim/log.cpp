@@ -1,0 +1,45 @@
+#include "sim/log.hpp"
+
+namespace octo::sim {
+
+namespace {
+LogLevel g_level = LogLevel::None;
+
+const char*
+levelName(LogLevel lvl)
+{
+    switch (lvl) {
+      case LogLevel::Warn:
+        return "WARN";
+      case LogLevel::Info:
+        return "INFO";
+      case LogLevel::Debug:
+        return "DEBUG";
+      default:
+        return "?";
+    }
+}
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel lvl)
+{
+    g_level = lvl;
+}
+
+void
+logAt(LogLevel lvl, Tick now, const std::string& msg)
+{
+    if (lvl > g_level || lvl == LogLevel::None)
+        return;
+    std::fprintf(stderr, "[%12.3f us] %-5s %s\n", toUs(now),
+                 levelName(lvl), msg.c_str());
+}
+
+} // namespace octo::sim

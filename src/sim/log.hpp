@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Minimal leveled logging for the simulator. Off by default; enabled per
+ * process via setLogLevel() (examples use it for traces).
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace octo::sim {
+
+enum class LogLevel
+{
+    None = 0,
+    Warn = 1,
+    Info = 2,
+    Debug = 3,
+};
+
+/** Global log threshold. */
+LogLevel logLevel();
+void setLogLevel(LogLevel lvl);
+
+/** Emit a log line tagged with the simulated timestamp. */
+void logAt(LogLevel lvl, Tick now, const std::string& msg);
+
+} // namespace octo::sim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload models.
+ *
+ * SplitMix64 core: tiny, fast, and good enough for workload-mix
+ * randomization. Every workload takes an explicit seed so experiments are
+ * exactly reproducible.
+ */
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace octo::sim {
+
+/** SplitMix64 generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+        : state_(seed)
+    {
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, n). */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return n ? next() % n : 0;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::int64_t
+    between(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** Exponentially distributed value with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u = uniform();
+        if (u <= 0.0)
+            u = 1e-18;
+        return -mean * std::log(u);
+    }
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace octo::sim

@@ -1,0 +1,70 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace octo::sim {
+
+Simulator::~Simulator()
+{
+    // Unfired resume events may reference coroutine frames that are also
+    // referenced by Task objects in *other* parked frames, so destroying
+    // them here could double-free. Experiments that stop mid-flight simply
+    // abandon those frames; the memory is reclaimed at process exit.
+}
+
+void
+Simulator::schedule(Tick when, std::function<void()> fn)
+{
+    assert(when >= now_);
+    events_.push(Event{when, seq_++, std::move(fn), nullptr});
+}
+
+void
+Simulator::scheduleIn(Tick delay, std::function<void()> fn)
+{
+    schedule(now_ + (delay < 0 ? 0 : delay), std::move(fn));
+}
+
+void
+Simulator::scheduleResume(Tick delay, std::coroutine_handle<> h)
+{
+    const Tick when = now_ + (delay < 0 ? 0 : delay);
+    events_.push(Event{when, seq_++, nullptr, h});
+}
+
+void
+Simulator::dispatch(Event& ev)
+{
+    now_ = ev.when;
+    ++processed_;
+    if (ev.handle)
+        ev.handle.resume();
+    else
+        ev.fn();
+}
+
+void
+Simulator::runUntil(Tick t)
+{
+    while (!events_.empty() && events_.top().when <= t) {
+        Event ev = events_.top();
+        events_.pop();
+        dispatch(ev);
+    }
+    now_ = t;
+}
+
+std::uint64_t
+Simulator::run(Tick max_time)
+{
+    std::uint64_t n = 0;
+    while (!events_.empty() && events_.top().when <= max_time) {
+        Event ev = events_.top();
+        events_.pop();
+        dispatch(ev);
+        ++n;
+    }
+    return n;
+}
+
+} // namespace octo::sim

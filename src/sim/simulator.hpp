@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The discrete-event simulation core.
+ *
+ * A Simulator owns a time-ordered event queue. Events are either plain
+ * callbacks or coroutine resumptions (see task.hpp). Two events scheduled
+ * for the same tick fire in scheduling order (FIFO), which keeps the
+ * model deterministic.
+ */
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace octo::sim {
+
+/**
+ * Discrete-event simulator: a clock plus an event queue.
+ *
+ * The simulator is strictly single-threaded. All model components keep a
+ * reference to it for scheduling and for reading the current time.
+ */
+class Simulator
+{
+  public:
+    Simulator() = default;
+    ~Simulator();
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Schedule a callback at absolute time @p when (>= now). */
+    void schedule(Tick when, std::function<void()> fn);
+
+    /** Schedule a callback @p delay ticks from now. */
+    void scheduleIn(Tick delay, std::function<void()> fn);
+
+    /**
+     * Schedule a coroutine resumption @p delay ticks from now.
+     *
+     * Stored as a raw handle rather than a callback so that, if the
+     * simulation is torn down before the event fires, the coroutine frame
+     * can be destroyed instead of leaked.
+     */
+    void scheduleResume(Tick delay, std::coroutine_handle<> h);
+
+    /** Run all events with timestamp <= @p t; the clock ends at @p t. */
+    void runUntil(Tick t);
+
+    /**
+     * Run until the event queue drains or @p max_time is reached.
+     * @return Number of events processed.
+     */
+    std::uint64_t run(Tick max_time = kTickPerSec * 3600);
+
+    /** True if no events are pending. */
+    bool idle() const { return events_.empty(); }
+
+    /** Number of events processed since construction. */
+    std::uint64_t eventsProcessed() const { return processed_; }
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        std::function<void()> fn;
+        std::coroutine_handle<> handle;
+
+        bool
+        operator>(const Event& o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    void dispatch(Event& ev);
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events_;
+    Tick now_ = 0;
+    std::uint64_t seq_ = 0;
+    std::uint64_t processed_ = 0;
+};
+
+} // namespace octo::sim

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Synchronization primitives for simulation coroutines: bounded channels,
+ * counting semaphores, and one-shot gates.
+ *
+ * All wakeups are funnelled through the simulator's event queue at the
+ * current tick rather than resumed inline, so that same-tick processes
+ * interleave deterministically and stack depth stays bounded.
+ */
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace octo::sim {
+
+/**
+ * Bounded multi-producer multi-consumer FIFO channel.
+ *
+ * push() suspends while the buffer is full; pop() suspends while it is
+ * empty. Useful for descriptor rings, wires, and work queues.
+ */
+template <typename T>
+class Channel
+{
+  public:
+    Channel(Simulator& sim, std::size_t capacity)
+        : sim_(sim), capacity_(capacity)
+    {
+        assert(capacity > 0);
+    }
+
+    Channel(const Channel&) = delete;
+    Channel& operator=(const Channel&) = delete;
+
+    std::size_t size() const { return buf_.size(); }
+    bool empty() const { return buf_.empty(); }
+    std::size_t capacity() const { return capacity_; }
+
+    /** Non-blocking push; false if the buffer is full. */
+    bool
+    tryPush(T v)
+    {
+        if (!popWaiters_.empty()) {
+            deliver(std::move(v));
+            return true;
+        }
+        if (buf_.size() >= capacity_)
+            return false;
+        buf_.push_back(std::move(v));
+        return true;
+    }
+
+    /** Oldest buffered element, or nullptr when empty. */
+    const T*
+    peek() const
+    {
+        return buf_.empty() ? nullptr : &buf_.front();
+    }
+
+    /** Non-blocking pop; empty optional if nothing buffered. */
+    std::optional<T>
+    tryPop()
+    {
+        if (buf_.empty())
+            return std::nullopt;
+        T v = std::move(buf_.front());
+        buf_.pop_front();
+        admitPushWaiter();
+        return v;
+    }
+
+    /** Awaitable push: suspends while the channel is full. */
+    auto
+    push(T v)
+    {
+        struct Awaiter
+        {
+            Channel& ch;
+            T value;
+
+            bool
+            await_ready()
+            {
+                // Only move the value out once success is guaranteed.
+                if (ch.popWaiters_.empty() &&
+                    ch.buf_.size() >= ch.capacity_) {
+                    return false;
+                }
+                ch.tryPush(std::move(value));
+                return true;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ch.pushWaiters_.push_back(
+                    PushWaiter{h, std::move(value)});
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{*this, std::move(v)};
+    }
+
+    /** Awaitable pop: suspends while the channel is empty. */
+    auto
+    pop()
+    {
+        struct Awaiter
+        {
+            Channel& ch;
+            std::optional<T> slot;
+
+            bool
+            await_ready()
+            {
+                slot = ch.tryPop();
+                return slot.has_value();
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                ch.popWaiters_.push_back(PopWaiter{h, &slot});
+            }
+
+            T
+            await_resume()
+            {
+                return std::move(*slot);
+            }
+        };
+        return Awaiter{*this, std::nullopt};
+    }
+
+  private:
+    struct PushWaiter
+    {
+        std::coroutine_handle<> h;
+        T value;
+    };
+
+    struct PopWaiter
+    {
+        std::coroutine_handle<> h;
+        std::optional<T>* slot;
+    };
+
+    /** Hand @p v directly to the oldest waiting consumer. */
+    void
+    deliver(T v)
+    {
+        PopWaiter w = popWaiters_.front();
+        popWaiters_.pop_front();
+        w.slot->emplace(std::move(v));
+        sim_.scheduleResume(0, w.h);
+    }
+
+    /** A buffer slot freed up: admit the oldest waiting producer. */
+    void
+    admitPushWaiter()
+    {
+        if (pushWaiters_.empty())
+            return;
+        PushWaiter w = std::move(pushWaiters_.front());
+        pushWaiters_.pop_front();
+        buf_.push_back(std::move(w.value));
+        sim_.scheduleResume(0, w.h);
+    }
+
+    Simulator& sim_;
+    std::size_t capacity_;
+    std::deque<T> buf_;
+    std::deque<PushWaiter> pushWaiters_;
+    std::deque<PopWaiter> popWaiters_;
+};
+
+/**
+ * Counting semaphore. acquire() suspends while the count is zero.
+ * Models finite credit pools (TCP windows, queue depths, ring slots).
+ */
+class Semaphore
+{
+  public:
+    Semaphore(Simulator& sim, std::int64_t initial)
+        : sim_(sim), count_(initial)
+    {
+    }
+
+    Semaphore(const Semaphore&) = delete;
+    Semaphore& operator=(const Semaphore&) = delete;
+
+    std::int64_t count() const { return count_; }
+
+    /** Release @p n credits, admitting waiters FIFO. */
+    void
+    release(std::int64_t n = 1)
+    {
+        count_ += n;
+        while (!waiters_.empty() && count_ >= waiters_.front().need) {
+            Waiter w = waiters_.front();
+            waiters_.pop_front();
+            count_ -= w.need;
+            sim_.scheduleResume(0, w.h);
+        }
+    }
+
+    /** Non-blocking acquire; false if insufficient credits (or waiters
+     *  are queued ahead, preserving FIFO). */
+    bool
+    tryAcquire(std::int64_t n = 1)
+    {
+        if (count_ >= n && waiters_.empty()) {
+            count_ -= n;
+            return true;
+        }
+        return false;
+    }
+
+    /** Awaitable acquire of @p n credits. */
+    auto
+    acquire(std::int64_t n = 1)
+    {
+        struct Awaiter
+        {
+            Semaphore& s;
+            std::int64_t need;
+
+            bool
+            await_ready() const
+            {
+                if (s.count_ >= need && s.waiters_.empty()) {
+                    s.count_ -= need;
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                s.waiters_.push_back(Waiter{h, need});
+            }
+
+            void await_resume() const {}
+        };
+        return Awaiter{*this, n};
+    }
+
+  private:
+    struct Waiter
+    {
+        std::coroutine_handle<> h;
+        std::int64_t need;
+    };
+
+    Simulator& sim_;
+    std::int64_t count_;
+    std::deque<Waiter> waiters_;
+};
+
+/**
+ * Re-usable signal: wait() suspends until the next notify(); notify()
+ * wakes every currently-suspended waiter. Models condition-variable
+ * style "data arrived" wakeups.
+ */
+class Signal
+{
+  public:
+    explicit Signal(Simulator& sim) : sim_(sim) {}
+
+    Signal(const Signal&) = delete;
+    Signal& operator=(const Signal&) = delete;
+
+    /** Wake all waiters suspended at this moment. */
+    void
+    notify()
+    {
+        for (auto h : waiters_)
+            sim_.scheduleResume(0, h);
+        waiters_.clear();
+    }
+
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            Signal& s;
+            bool await_ready() const { return false; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                s.waiters_.push_back(h);
+            }
+            void await_resume() const {}
+        };
+        return Awaiter{*this};
+    }
+
+  private:
+    Simulator& sim_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * One-shot gate: waiters suspend until open() is called; afterwards
+ * wait() completes immediately. Used for run-phase barriers.
+ */
+class Gate
+{
+  public:
+    explicit Gate(Simulator& sim) : sim_(sim) {}
+
+    Gate(const Gate&) = delete;
+    Gate& operator=(const Gate&) = delete;
+
+    bool isOpen() const { return open_; }
+
+    void
+    open()
+    {
+        if (open_)
+            return;
+        open_ = true;
+        for (auto h : waiters_)
+            sim_.scheduleResume(0, h);
+        waiters_.clear();
+    }
+
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            Gate& g;
+            bool await_ready() const { return g.open_; }
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                g.waiters_.push_back(h);
+            }
+            void await_resume() const {}
+        };
+        return Awaiter{*this};
+    }
+
+  private:
+    Simulator& sim_;
+    bool open_ = false;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+} // namespace octo::sim

@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Coroutine task type for simulation processes.
+ *
+ * Model components are written as C++20 coroutines ("processes" in
+ * SimPy-speak) that co_await simulated time and synchronization objects.
+ * A Task<T> is eagerly started: its body runs up to the first suspension
+ * point as soon as it is called.
+ *
+ * Ownership rules:
+ *  - A live Task object owns the coroutine frame; the frame is destroyed
+ *    by the Task destructor once the coroutine has finished.
+ *  - Destroying a Task before the coroutine finishes *detaches* it: the
+ *    coroutine keeps running inside the simulator and frees its own frame
+ *    upon completion. Use this for fire-and-forget processes.
+ *  - `co_await task` suspends until the coroutine finishes and yields its
+ *    result. At most one awaiter per task.
+ */
+#pragma once
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace octo::sim {
+
+namespace detail {
+
+/** State shared by all Task promises, independent of the result type. */
+struct PromiseBase
+{
+    std::coroutine_handle<> continuation{};
+    bool done = false;
+    bool detached = false;
+};
+
+/**
+ * Final awaiter: transfers control to the awaiting coroutine (if any)
+ * and reclaims the frame of a detached task.
+ */
+template <typename Promise>
+struct FinalAwaiter
+{
+    bool await_ready() const noexcept { return false; }
+
+    std::coroutine_handle<>
+    await_suspend(std::coroutine_handle<Promise> h) noexcept
+    {
+        PromiseBase& p = h.promise();
+        p.done = true;
+        std::coroutine_handle<> cont =
+            p.continuation ? p.continuation : std::noop_coroutine();
+        if (p.detached)
+            h.destroy();
+        return cont;
+    }
+
+    void await_resume() const noexcept {}
+};
+
+} // namespace detail
+
+/**
+ * An eagerly-started simulation coroutine returning T (default void).
+ */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        std::optional<T> value;
+
+        Task
+        get_return_object()
+        {
+            return Task{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        std::suspend_never initial_suspend() noexcept { return {}; }
+
+        detail::FinalAwaiter<promise_type>
+        final_suspend() noexcept
+        {
+            return {};
+        }
+
+        void
+        return_value(T v)
+        {
+            value.emplace(std::move(v));
+        }
+
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+
+    Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+
+    Task&
+    operator=(Task&& o) noexcept
+    {
+        if (this != &o) {
+            release();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+
+    ~Task() { release(); }
+
+    /** True once the coroutine body has run to completion. */
+    bool done() const { return !handle_ || handle_.promise().done; }
+
+    /** Abandon ownership; the coroutine cleans up after itself. */
+    void
+    detach()
+    {
+        release();
+    }
+
+    /** Awaiter: suspend until the task completes, yielding its value. */
+    auto
+    operator co_await() &
+    {
+        struct Awaiter
+        {
+            Handle h;
+            bool await_ready() const { return h.promise().done; }
+            void
+            await_suspend(std::coroutine_handle<> cont)
+            {
+                assert(!h.promise().continuation);
+                h.promise().continuation = cont;
+            }
+            T
+            await_resume()
+            {
+                return std::move(*h.promise().value);
+            }
+        };
+        return Awaiter{handle_};
+    }
+
+    auto
+    operator co_await() &&
+    {
+        return operator co_await();
+    }
+
+  private:
+    void
+    release()
+    {
+        if (!handle_)
+            return;
+        if (handle_.promise().done)
+            handle_.destroy();
+        else
+            handle_.promise().detached = true;
+        handle_ = nullptr;
+    }
+
+    Handle handle_{};
+};
+
+/** Specialization for tasks with no result. */
+template <>
+class [[nodiscard]] Task<void>
+{
+  public:
+    struct promise_type : detail::PromiseBase
+    {
+        Task
+        get_return_object()
+        {
+            return Task{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+
+        std::suspend_never initial_suspend() noexcept { return {}; }
+
+        detail::FinalAwaiter<promise_type>
+        final_suspend() noexcept
+        {
+            return {};
+        }
+
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    using Handle = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(Handle h) : handle_(h) {}
+
+    Task(Task&& o) noexcept : handle_(std::exchange(o.handle_, nullptr)) {}
+
+    Task&
+    operator=(Task&& o) noexcept
+    {
+        if (this != &o) {
+            release();
+            handle_ = std::exchange(o.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task&) = delete;
+    Task& operator=(const Task&) = delete;
+
+    ~Task() { release(); }
+
+    bool done() const { return !handle_ || handle_.promise().done; }
+
+    void
+    detach()
+    {
+        release();
+    }
+
+    auto
+    operator co_await() &
+    {
+        struct Awaiter
+        {
+            Handle h;
+            bool await_ready() const { return h.promise().done; }
+            void
+            await_suspend(std::coroutine_handle<> cont)
+            {
+                assert(!h.promise().continuation);
+                h.promise().continuation = cont;
+            }
+            void await_resume() const {}
+        };
+        return Awaiter{handle_};
+    }
+
+    auto
+    operator co_await() &&
+    {
+        return operator co_await();
+    }
+
+  private:
+    void
+    release()
+    {
+        if (!handle_)
+            return;
+        if (handle_.promise().done)
+            handle_.destroy();
+        else
+            handle_.promise().detached = true;
+        handle_ = nullptr;
+    }
+
+    Handle handle_{};
+};
+
+/**
+ * Awaitable that suspends the current coroutine for @p d ticks.
+ *
+ * A zero (or negative) delay still suspends and requeues, preserving
+ * FIFO fairness between same-tick processes.
+ */
+struct Delay
+{
+    Simulator& sim;
+    Tick d;
+
+    bool await_ready() const noexcept { return false; }
+
+    void
+    await_suspend(std::coroutine_handle<> h) const
+    {
+        sim.scheduleResume(d, h);
+    }
+
+    void await_resume() const noexcept {}
+};
+
+/** Suspend the calling coroutine for @p d ticks of simulated time. */
+inline Delay
+delay(Simulator& sim, Tick d)
+{
+    return Delay{sim, d};
+}
+
+/**
+ * Safely run a (possibly capturing) lambda coroutine.
+ *
+ * A capturing lambda must outlive any coroutine produced by invoking it
+ * (the closure is the coroutine's implicit object parameter and is NOT
+ * copied into the frame — CppCoreGuidelines CP.51). spawn() copies the
+ * callable into its own coroutine frame and awaits the inner task, so
+ * `spawn([&]() -> Task<> {...})` is safe where a bare immediately-invoked
+ * lambda coroutine would dangle.
+ */
+template <typename F>
+Task<>
+spawn(F fn)
+{
+    co_await fn();
+}
+
+} // namespace octo::sim

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Simulated-time definitions for the IOctopus platform simulator.
+ *
+ * The simulator counts time in integer picoseconds. At 100 Gb/s a single
+ * byte occupies 80 ps on the wire, so picosecond resolution keeps all
+ * bandwidth arithmetic exact enough while an int64 still covers ~106 days
+ * of simulated time.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace octo::sim {
+
+/** Simulated time, in picoseconds. */
+using Tick = std::int64_t;
+
+constexpr Tick kTickPerPs = 1;
+constexpr Tick kTickPerNs = 1000;
+constexpr Tick kTickPerUs = 1000 * kTickPerNs;
+constexpr Tick kTickPerMs = 1000 * kTickPerUs;
+constexpr Tick kTickPerSec = 1000 * kTickPerMs;
+
+/** Convert nanoseconds (possibly fractional) to ticks. */
+constexpr Tick
+fromNs(double ns)
+{
+    return static_cast<Tick>(ns * static_cast<double>(kTickPerNs));
+}
+
+/** Convert microseconds to ticks. */
+constexpr Tick
+fromUs(double us)
+{
+    return static_cast<Tick>(us * static_cast<double>(kTickPerUs));
+}
+
+/** Convert milliseconds to ticks. */
+constexpr Tick
+fromMs(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kTickPerMs));
+}
+
+/** Convert seconds to ticks. */
+constexpr Tick
+fromSec(double sec)
+{
+    return static_cast<Tick>(sec * static_cast<double>(kTickPerSec));
+}
+
+/** Convert ticks to fractional nanoseconds. */
+constexpr double
+toNs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTickPerNs);
+}
+
+/** Convert ticks to fractional microseconds. */
+constexpr double
+toUs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTickPerUs);
+}
+
+/** Convert ticks to fractional milliseconds. */
+constexpr double
+toMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTickPerMs);
+}
+
+/** Convert ticks to fractional seconds. */
+constexpr double
+toSec(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kTickPerSec);
+}
+
+/**
+ * Time a given byte count occupies at a given rate.
+ *
+ * @param bytes      Payload size in bytes.
+ * @param gbit_per_s Rate in gigabits per second.
+ * @return Transfer duration in ticks.
+ */
+constexpr Tick
+transferTime(std::uint64_t bytes, double gbit_per_s)
+{
+    // bits / (Gb/s) = ns; one ns is kTickPerNs ticks.
+    const double ns = static_cast<double>(bytes) * 8.0 / gbit_per_s;
+    return fromNs(ns);
+}
+
+} // namespace octo::sim

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Telemetry: periodic time-series sampling of model counters.
+ *
+ * A TimeSeries owns a set of named probes (callables returning a
+ * cumulative counter) and samples them on a fixed period, recording
+ * per-interval rates. Benches and examples use it for timeline figures
+ * (Fig. 14) and CSV export.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace octo::sim {
+
+/** Periodic sampler of cumulative counters, yielding per-window rates. */
+class TimeSeries
+{
+  public:
+    using Probe = std::function<std::uint64_t()>;
+
+    TimeSeries(Simulator& sim, Tick period) : sim_(sim), period_(period)
+    {
+    }
+
+    TimeSeries(const TimeSeries&) = delete;
+    TimeSeries& operator=(const TimeSeries&) = delete;
+
+    /** Register a probe; call before start(). */
+    void
+    addProbe(std::string name, Probe probe)
+    {
+        names_.push_back(std::move(name));
+        probes_.push_back(std::move(probe));
+        prev_.push_back(0);
+    }
+
+    void
+    start()
+    {
+        for (std::size_t i = 0; i < probes_.size(); ++i)
+            prev_[i] = probes_[i]();
+        startAt_ = sim_.now();
+        loop_ = run();
+    }
+
+    std::size_t sampleCount() const { return samples_.size(); }
+    Tick period() const { return period_; }
+
+    /** Sample @p idx of probe @p probe, as bytes-per-window. */
+    std::uint64_t
+    at(std::size_t probe, std::size_t idx) const
+    {
+        return samples_.at(idx).at(probe);
+    }
+
+    /** Probe @p probe at sample @p idx converted to Gb/s. */
+    double
+    gbpsAt(std::size_t probe, std::size_t idx) const
+    {
+        return toGbps(at(probe, idx), period_);
+    }
+
+    /** Timestamp (window end) of sample @p idx. */
+    Tick
+    timeAt(std::size_t idx) const
+    {
+        return startAt_ + static_cast<Tick>(idx + 1) * period_;
+    }
+
+    /** Dump all series as CSV (time in ms, rates in Gb/s). */
+    void
+    writeCsv(std::FILE* out) const
+    {
+        std::fprintf(out, "time_ms");
+        for (const auto& n : names_)
+            std::fprintf(out, ",%s_gbps", n.c_str());
+        std::fprintf(out, "\n");
+        for (std::size_t i = 0; i < samples_.size(); ++i) {
+            std::fprintf(out, "%.3f", toMs(timeAt(i)));
+            for (std::size_t p = 0; p < probes_.size(); ++p)
+                std::fprintf(out, ",%.3f", gbpsAt(p, i));
+            std::fprintf(out, "\n");
+        }
+    }
+
+  private:
+    Task<>
+    run()
+    {
+        for (;;) {
+            co_await delay(sim_, period_);
+            std::vector<std::uint64_t> row(probes_.size());
+            for (std::size_t i = 0; i < probes_.size(); ++i) {
+                const std::uint64_t v = probes_[i]();
+                row[i] = v - prev_[i];
+                prev_[i] = v;
+            }
+            samples_.push_back(std::move(row));
+        }
+    }
+
+    Simulator& sim_;
+    Tick period_;
+    std::vector<std::string> names_;
+    std::vector<Probe> probes_;
+    std::vector<std::uint64_t> prev_;
+    std::vector<std::vector<std::uint64_t>> samples_;
+    Tick startAt_ = 0;
+    Task<> loop_;
+};
+
+} // namespace octo::sim

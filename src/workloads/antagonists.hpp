@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Memory-system antagonist workloads: the STREAM bandwidth hog used to
+ * congest the interconnect (Figs. 11, 12, 15) and the GAP-style
+ * PageRank victim used in the co-location macro benchmark (Fig. 13).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/cache.hpp"
+#include "sim/task.hpp"
+#include "topo/machine.hpp"
+
+namespace octo::workloads {
+
+using sim::Task;
+using sim::Tick;
+
+/**
+ * One STREAM thread: an elastic loop moving large chunks between its
+ * core and a (typically remote) memory node, saturating whatever
+ * resource is scarcest. Registers LLC pressure on its own node — the
+ * thrash that degrades co-located workloads even without interconnect
+ * contention.
+ */
+class StreamAntagonist
+{
+  public:
+    /** Transfer granularity. Small enough that co-located small
+     *  transfers interleave as they would on a real flit-based
+     *  interconnect, instead of stalling behind megabyte bursts. */
+    static constexpr std::uint64_t kChunk = 4u << 10;
+
+    /**
+     * @param dir Read: data flows target->core; Write: core->target.
+     * @param llc_footprint LLC pressure contributed on the core's node.
+     */
+    /** Concurrent outstanding chunks per thread: a streaming core keeps
+     *  many line fills in flight (MLP + prefetch streams). */
+    static constexpr int kOutstanding = 2;
+
+    StreamAntagonist(topo::Machine& m, topo::Core& core, int target_node,
+                     topo::MemDir dir,
+                     std::uint64_t llc_footprint = 10u << 20)
+        : machine_(m), core_(core), target_(target_node), dir_(dir),
+          pressure_(m.llc(core.node()), llc_footprint)
+    {
+    }
+
+    /** Alternate read and write chunks (a full STREAM triad loads both
+     *  interconnect directions, unlike the single-direction pairs of
+     *  Fig. 11). */
+    void setMixed(bool mixed) { mixed_ = mixed; }
+
+    void
+    start()
+    {
+        for (int i = 0; i < kOutstanding; ++i)
+            loops_.push_back(run());
+    }
+
+    std::uint64_t bytesMoved() const { return bytes_; }
+
+  private:
+    Task<>
+    run()
+    {
+        std::uint64_t i = 0;
+        for (;;) {
+            topo::MemDir dir = dir_;
+            if (mixed_ && ++i % 3 == 0)
+                dir = dir_ == topo::MemDir::Read ? topo::MemDir::Write
+                                                 : topo::MemDir::Read;
+            const Tick l = co_await machine_.memTransfer(
+                core_.node(), target_, kChunk, dir, 1.0,
+                100 + core_.id());
+            core_.addBusy(l / kOutstanding);
+            bytes_ += kChunk;
+        }
+    }
+
+    topo::Machine& machine_;
+    topo::Core& core_;
+    int target_;
+    topo::MemDir dir_;
+    mem::LlcModel::PressureScope pressure_;
+    bool mixed_ = false;
+    std::uint64_t bytes_ = 0;
+    std::vector<Task<>> loops_;
+};
+
+/**
+ * A 16-thread PageRank-style victim (GAP benchmark suite): each thread
+ * streams a fixed quota of graph data, mostly from its local node with
+ * a remote fraction for cross-partition edges. Completion time is the
+ * measured quantity.
+ */
+class PageRank
+{
+  public:
+    /**
+     * @param cores            Participating cores (threads pin 1:1).
+     * @param bytes_per_thread Total graph bytes each thread must stream.
+     * @param remote_fraction  Share of accesses hitting the other node.
+     */
+    PageRank(topo::Machine& m, std::vector<topo::Core*> cores,
+             std::uint64_t bytes_per_thread, double remote_fraction = 0.3)
+        : machine_(m), cores_(std::move(cores)),
+          quota_(bytes_per_thread), remoteFrac_(remote_fraction)
+    {
+        for (int n = 0; n < m.nodes(); ++n) {
+            pressure_.emplace_back(m.llc(n), 24u << 20);
+        }
+    }
+
+    void
+    start()
+    {
+        startAt_ = machine_.sim().now();
+        for (auto* c : cores_)
+            loops_.push_back(run(*c));
+    }
+
+    bool done() const { return finished_ == cores_.size(); }
+
+    /** Wall time from start() to the last thread finishing. */
+    Tick elapsed() const { return finishAt_ - startAt_; }
+
+  private:
+    static constexpr std::uint64_t kChunk = 256u << 10;
+
+    Task<>
+    run(topo::Core& core)
+    {
+        std::uint64_t left = quota_;
+        std::uint64_t i = 0;
+        const auto remote_period = static_cast<std::uint64_t>(
+            remoteFrac_ > 0 ? 1.0 / remoteFrac_ : 0);
+        while (left > 0) {
+            const std::uint64_t chunk = std::min(left, kChunk);
+            int target = core.node();
+            if (remote_period != 0 && ++i % remote_period == 0)
+                target = 1 - core.node();
+            const Tick l = co_await machine_.memTransfer(
+                core.node(), target, chunk, topo::MemDir::Read, 1.0,
+                100 + core.id());
+            core.addBusy(l);
+            left -= chunk;
+        }
+        if (++finished_ == cores_.size())
+            finishAt_ = machine_.sim().now();
+    }
+
+    topo::Machine& machine_;
+    std::vector<topo::Core*> cores_;
+    std::uint64_t quota_;
+    double remoteFrac_;
+    std::vector<mem::LlcModel::PressureScope> pressure_;
+    std::vector<Task<>> loops_;
+    std::size_t finished_ = 0;
+    Tick startAt_ = 0;
+    Tick finishAt_ = 0;
+};
+
+} // namespace octo::workloads

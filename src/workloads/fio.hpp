@@ -1,0 +1,74 @@
+/**
+ * @file
+ * fio-style NVMe reader (paper §5.4, Fig. 15): several threads issue
+ * asynchronous direct reads at a fixed queue depth against SSDs that
+ * are remote from their CPU.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nvme/nvme.hpp"
+#include "os/thread.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace octo::workloads {
+
+/** fio job parameters. */
+struct FioConfig
+{
+    std::uint64_t blockBytes = 128u << 10;
+    int queueDepth = 32;
+    /** Per-IO submission+reap CPU cost on the issuing core. */
+    sim::Tick perIoCpu = sim::fromUs(1.2);
+    /** OctoSSD mode: steer each DMA through the SSD port local to the
+     *  destination buffer (the paper's future-work direction). */
+    bool octoSteer = false;
+};
+
+/** One fio thread bound to one core, striping reads across SSDs. */
+class FioThread
+{
+  public:
+    FioThread(os::ThreadCtx ctx, std::vector<nvme::NvmeDevice*> ssds,
+              const FioConfig& cfg)
+        : ctx_(ctx), ssds_(std::move(ssds)), cfg_(cfg),
+          qd_(ctx_.machine().sim(), cfg.queueDepth)
+    {
+    }
+
+    void start() { loop_ = run(); }
+
+    std::uint64_t bytesRead() const { return bytes_; }
+
+  private:
+    sim::Task<>
+    run()
+    {
+        std::uint64_t i = 0;
+        for (;;) {
+            co_await qd_.acquire();
+            co_await ctx_.core().compute(cfg_.perIoCpu);
+            io(*ssds_[i++ % ssds_.size()]).detach();
+        }
+    }
+
+    sim::Task<>
+    io(nvme::NvmeDevice& ssd)
+    {
+        co_await ssd.read(cfg_.blockBytes, ctx_.node(), cfg_.octoSteer);
+        bytes_ += cfg_.blockBytes;
+        qd_.release();
+    }
+
+    os::ThreadCtx ctx_;
+    std::vector<nvme::NvmeDevice*> ssds_;
+    FioConfig cfg_;
+    sim::Semaphore qd_;
+    std::uint64_t bytes_ = 0;
+    sim::Task<> loop_;
+};
+
+} // namespace octo::workloads

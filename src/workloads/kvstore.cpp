@@ -1,0 +1,130 @@
+#include "workloads/kvstore.hpp"
+
+namespace octo::workloads {
+
+using sim::Task;
+using sim::Tick;
+
+namespace {
+
+/** Response framing for a SET acknowledgement. */
+constexpr std::uint64_t kAckBytes = 64;
+
+} // namespace
+
+KvWorkload::KvWorkload(core::Testbed& tb, int server_node,
+                       const KvConfig& cfg)
+    : tb_(tb), cfg_(cfg), serverNode_(server_node)
+{
+    storePressure_ = std::make_unique<mem::LlcModel::PressureScope>(
+        tb.server().llc(server_node), cfg_.storeFootprint);
+
+    for (int i = 0; i < cfg_.connections; ++i) {
+        // Placeholder server context; the serving thread's context is
+        // what actually drives the server side of the connection.
+        auto server_t = tb.serverThread(server_node, 0);
+        auto client_t =
+            tb.clientThread(i % tb.client().cal().coresPerNode);
+        auto conn = std::make_unique<Conn>(
+            Conn{tb.connect(server_t, client_t), {}});
+        // Responses stream values straight out of the (cold) store.
+        conn->pair.serverSock->txSourceCold = true;
+        conns_.push_back(std::move(conn));
+    }
+}
+
+void
+KvWorkload::start()
+{
+    // Partition connections among the memcached worker threads.
+    std::vector<int> cores = cfg_.serverCoreIds;
+    if (cores.empty()) {
+        for (int i = 0; i < cfg_.serverThreads; ++i)
+            cores.push_back(i);
+    }
+    for (int t = 0; t < cfg_.serverThreads; ++t) {
+        std::vector<Conn*> mine;
+        for (std::size_t c = t; c < conns_.size();
+             c += cfg_.serverThreads) {
+            mine.push_back(conns_[c].get());
+        }
+        if (mine.empty())
+            continue;
+        auto ctx = tb_.serverThread(serverNode_,
+                                    cores[t % cores.size()]);
+        loops_.push_back(serverThreadLoop(ctx, std::move(mine)));
+    }
+
+    std::uint64_t seed = 0x5EED;
+    for (auto& c : conns_)
+        loops_.push_back(clientLoop(*c, seed++));
+}
+
+Task<>
+KvWorkload::serverThreadLoop(os::ThreadCtx ctx, std::vector<Conn*> conns)
+{
+    // Event-loop style: serve one ready transaction per connection per
+    // sweep. With closed-loop clients each connection has at most one
+    // outstanding request, so blocking on its socket is bounded.
+    for (;;) {
+        for (Conn* c : conns)
+            co_await serveOne(ctx, *c);
+    }
+}
+
+Task<>
+KvWorkload::serveOne(os::ThreadCtx& t, Conn& c)
+{
+    auto& st = *c.pair.serverStack;
+    auto& sock = *c.pair.serverSock;
+    topo::Machine& m = tb_.server();
+
+    // Request header: opcode + key (the opcode itself rides the
+    // side-channel queue; the wire framing is byte-accurate).
+    co_await st.recv(t, sock, 1 + cfg_.keyBytes);
+    const bool is_set = !c.ops.empty() && c.ops.front();
+    if (!c.ops.empty())
+        c.ops.pop_front();
+    if (is_set)
+        co_await st.recv(t, sock, cfg_.valueBytes);
+
+    co_await t.core().compute(cfg_.serverWork);
+
+    if (is_set) {
+        // Store the value: streamed write into the DRAM-resident slab.
+        const Tick l = co_await m.memTransfer(
+            t.node(), t.node(), cfg_.valueBytes, topo::MemDir::Write);
+        t.core().addBusy(l);
+        co_await st.send(t, sock, kAckBytes);
+    } else {
+        // GET: the response value streams from the store; the cold
+        // source is charged inside send() (txSourceCold).
+        co_await st.send(t, sock, cfg_.valueBytes);
+    }
+}
+
+Task<>
+KvWorkload::clientLoop(Conn& c, std::uint64_t seed)
+{
+    sim::Rng rng(seed);
+    auto& st = *c.pair.clientStack;
+    auto& t = c.pair.clientCtx;
+    auto& sock = *c.pair.clientSock;
+    sim::Simulator& sim = t.machine().sim();
+    for (;;) {
+        const bool is_set = rng.chance(cfg_.setRatio);
+        const Tick t0 = sim.now();
+        c.ops.push_back(is_set);
+        co_await st.send(t, sock, 1 + cfg_.keyBytes);
+        if (is_set) {
+            co_await st.send(t, sock, cfg_.valueBytes);
+            co_await st.recv(t, sock, kAckBytes);
+        } else {
+            co_await st.recv(t, sock, cfg_.valueBytes);
+        }
+        latency_.sample(sim::toUs(sim.now() - t0));
+        ++transactions_;
+    }
+}
+
+} // namespace octo::workloads

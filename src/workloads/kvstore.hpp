@@ -1,0 +1,81 @@
+/**
+ * @file
+ * memcached/memslap-style key-value workload (paper §5.1.3, Fig. 10):
+ * a single memcached server accessed by multiple closed-loop memslap
+ * clients issuing a GET/SET mix with 256 B keys and 512 KB values.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/testbed.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace octo::workloads {
+
+/** Key-value workload parameters. */
+struct KvConfig
+{
+    std::uint64_t keyBytes = 256;
+    std::uint64_t valueBytes = 512u << 10;
+    double setRatio = 0.1;       ///< Fraction of SET operations.
+    int connections = 14;        ///< memslap instances (one per core).
+    /** Value-store working set registered as LLC pressure on the
+     *  serving node (values are far larger than the LLC). */
+    std::uint64_t storeFootprint = 512u << 20;
+    /** Per-op server compute (hash, item bookkeeping, slab copies). */
+    sim::Tick serverWork = sim::fromUs(300.0);
+    /** memcached worker threads (memcached -t defaults to 4); the
+     *  connections are partitioned among them round-robin. */
+    int serverThreads = 4;
+    /** Local core indices (on the serving node) for the worker
+     *  threads; defaults to 0..serverThreads-1. */
+    std::vector<int> serverCoreIds;
+};
+
+/**
+ * The full client/server key-value benchmark: one memcached process
+ * with a few worker threads on the configured server node, accessed by
+ * @p connections closed-loop memslap clients.
+ */
+class KvWorkload
+{
+  public:
+    KvWorkload(core::Testbed& tb, int server_node, const KvConfig& cfg);
+
+    void start();
+
+    std::uint64_t transactions() const { return transactions_; }
+    const sim::Distribution& latencyUs() const { return latency_; }
+
+  private:
+    struct Conn
+    {
+        core::TcpPair pair;
+        /** Op kind per outstanding request (true = SET), FIFO. The wire
+         *  carries byte-accurate framing; the opcode itself rides this
+         *  side channel. */
+        std::deque<bool> ops;
+    };
+
+    sim::Task<> serverThreadLoop(os::ThreadCtx ctx,
+                                 std::vector<Conn*> conns);
+    sim::Task<> serveOne(os::ThreadCtx& t, Conn& c);
+    sim::Task<> clientLoop(Conn& c, std::uint64_t seed);
+
+    core::Testbed& tb_;
+    KvConfig cfg_;
+    int serverNode_;
+    std::vector<std::unique_ptr<Conn>> conns_;
+    std::vector<sim::Task<>> loops_;
+    std::unique_ptr<mem::LlcModel::PressureScope> storePressure_;
+    std::uint64_t transactions_ = 0;
+    sim::Distribution latency_;
+};
+
+} // namespace octo::workloads

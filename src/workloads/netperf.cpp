@@ -1,0 +1,100 @@
+#include "workloads/netperf.hpp"
+
+namespace octo::workloads {
+
+using sim::Task;
+
+NetperfStream::NetperfStream(core::Testbed& tb, os::ThreadCtx server_t,
+                             os::ThreadCtx client_t,
+                             std::uint64_t msg_bytes, StreamDir dir)
+    : pair_(tb.connect(server_t, client_t)), msg_(msg_bytes), dir_(dir)
+{
+    constexpr std::uint64_t kConnFootprint = 3u << 20;
+    pressure_.emplace_back(tb.server().llc(server_t.node()),
+                           kConnFootprint);
+    pressure_.emplace_back(tb.client().llc(client_t.node()),
+                           kConnFootprint);
+}
+
+void
+NetperfStream::start()
+{
+    if (dir_ == StreamDir::ServerRx) {
+        loops_.push_back(senderLoop(*pair_.clientStack, pair_.clientCtx,
+                                    *pair_.clientSock));
+        loops_.push_back(receiverLoop(*pair_.serverStack, pair_.serverCtx,
+                                      *pair_.serverSock));
+    } else {
+        loops_.push_back(senderLoop(*pair_.serverStack, pair_.serverCtx,
+                                    *pair_.serverSock));
+        loops_.push_back(receiverLoop(*pair_.clientStack, pair_.clientCtx,
+                                      *pair_.clientSock));
+    }
+}
+
+std::uint64_t
+NetperfStream::bytesDelivered() const
+{
+    return dir_ == StreamDir::ServerRx ? pair_.serverSock->bytesDelivered
+                                       : pair_.clientSock->bytesDelivered;
+}
+
+Task<>
+NetperfStream::senderLoop(os::NetStack& st, os::ThreadCtx& t,
+                          os::Socket& s)
+{
+    // Stream semantics: no per-message push, so Nagle/autocork can
+    // aggregate sub-MTU writes exactly as netperf TCP_STREAM does.
+    for (;;)
+        co_await st.send(t, s, msg_, /*last_of_message=*/false);
+}
+
+Task<>
+NetperfStream::receiverLoop(os::NetStack& st, os::ThreadCtx& t,
+                            os::Socket& s)
+{
+    for (;;)
+        co_await st.recv(t, s, msg_);
+}
+
+RrWorkload::RrWorkload(core::Testbed& tb, os::ThreadCtx server_t,
+                       os::ThreadCtx client_t, std::uint64_t msg_bytes,
+                       bool tso)
+    : pair_(tb.connect(server_t, client_t, tso)), msg_(msg_bytes)
+{
+}
+
+void
+RrWorkload::start()
+{
+    loops_.push_back(serverLoop());
+    loops_.push_back(clientLoop());
+}
+
+Task<>
+RrWorkload::clientLoop()
+{
+    auto& st = *pair_.clientStack;
+    auto& sock = *pair_.clientSock;
+    sim::Simulator& sim = pair_.clientCtx.machine().sim();
+    for (;;) {
+        const sim::Tick t0 = sim.now();
+        co_await st.send(pair_.clientCtx, sock, msg_);
+        co_await st.recv(pair_.clientCtx, sock, msg_);
+        latency_.sample(sim::toUs(sim.now() - t0));
+        ++transactions_;
+    }
+}
+
+Task<>
+RrWorkload::serverLoop()
+{
+    auto& st = *pair_.serverStack;
+    auto& sock = *pair_.serverSock;
+    for (;;) {
+        co_await st.recv(pair_.serverCtx, sock, msg_);
+        co_await st.send(pair_.serverCtx, sock, msg_);
+    }
+}
+
+} // namespace octo::workloads

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * netperf-style workloads: TCP_STREAM (receive/transmit) and TCP_RR
+ * (request/response), the paper's §5.1 microbenchmarks.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "core/testbed.hpp"
+#include "sim/stats.hpp"
+#include "sim/task.hpp"
+
+namespace octo::workloads {
+
+/** Which host's stack is the unit under test. */
+enum class StreamDir
+{
+    ServerRx, ///< Client transmits; the server receive path is measured.
+    ServerTx, ///< Server transmits; the server send path is measured.
+};
+
+/**
+ * netperf TCP_STREAM: one endpoint repeatedly sends fixed-size buffers,
+ * the other repeatedly receives them.
+ */
+class NetperfStream
+{
+  public:
+    NetperfStream(core::Testbed& tb, os::ThreadCtx server_t,
+                  os::ThreadCtx client_t, std::uint64_t msg_bytes,
+                  StreamDir dir);
+
+    /** Launch the sender/receiver loops (they run until sim teardown). */
+    void start();
+
+    /** Bytes delivered to the receiving application so far. */
+    std::uint64_t bytesDelivered() const;
+
+    os::Socket& serverSocket() { return *pair_.serverSock; }
+    os::Socket& clientSocket() { return *pair_.clientSock; }
+    core::TcpPair& pair() { return pair_; }
+
+  private:
+    sim::Task<> senderLoop(os::NetStack& st, os::ThreadCtx& t,
+                           os::Socket& s);
+    sim::Task<> receiverLoop(os::NetStack& st, os::ThreadCtx& t,
+                             os::Socket& s);
+
+    core::TcpPair pair_;
+    std::uint64_t msg_;
+    StreamDir dir_;
+    std::vector<sim::Task<>> loops_;
+    /** Socket buffers + rings contribute cache pressure; with many
+     *  concurrent connections this is what makes even the local
+     *  configuration show memory traffic (§5.1 multi-core). */
+    std::vector<mem::LlcModel::PressureScope> pressure_;
+};
+
+/**
+ * netperf TCP_RR / sockperf ping-pong: the client sends a message and
+ * waits for an equal-sized response; round-trip latency is recorded.
+ */
+class RrWorkload
+{
+  public:
+    /**
+     * @param tso false models the sockperf UDP path (single frame per
+     *            message, no segmentation).
+     */
+    RrWorkload(core::Testbed& tb, os::ThreadCtx server_t,
+               os::ThreadCtx client_t, std::uint64_t msg_bytes,
+               bool tso = true);
+
+    void start();
+
+    std::uint64_t transactions() const { return transactions_; }
+    const sim::Distribution& latencyUs() const { return latency_; }
+
+    /** Forget samples collected so far (warmup discard). */
+    void resetStats()
+    {
+        latency_.reset();
+        transactions_ = 0;
+    }
+
+  private:
+    sim::Task<> clientLoop();
+    sim::Task<> serverLoop();
+
+    core::TcpPair pair_;
+    std::uint64_t msg_;
+    std::uint64_t transactions_ = 0;
+    sim::Distribution latency_;
+    std::vector<sim::Task<>> loops_;
+};
+
+} // namespace octo::workloads

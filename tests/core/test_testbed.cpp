@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Unit tests for the experiment testbed presets: wiring, queue/PF
+ * bindings, mode semantics.
+ */
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+
+namespace octo::core {
+namespace {
+
+TEST(Testbed, ModeNames)
+{
+    EXPECT_STREQ(modeName(ServerMode::Local), "local");
+    EXPECT_STREQ(modeName(ServerMode::Remote), "remote");
+    EXPECT_STREQ(modeName(ServerMode::Ioctopus), "ioctopus");
+    EXPECT_STREQ(modeName(ServerMode::TwoNics), "two-nics");
+}
+
+TEST(Testbed, ServerNicIsBifurcated)
+{
+    TestbedConfig cfg;
+    Testbed tb(cfg);
+    ASSERT_EQ(tb.serverNic().functionCount(), 2);
+    EXPECT_EQ(tb.serverNic().function(0).node(), 0);
+    EXPECT_EQ(tb.serverNic().function(1).node(), 1);
+    EXPECT_EQ(tb.serverNic().function(0).lanes(), 8);
+    EXPECT_EQ(tb.serverNic().function(1).lanes(), 8);
+}
+
+TEST(Testbed, ClientNicIsPlainX16)
+{
+    TestbedConfig cfg;
+    Testbed tb(cfg);
+    ASSERT_EQ(tb.clientNic().functionCount(), 1);
+    EXPECT_EQ(tb.clientNic().function(0).lanes(), 16);
+    EXPECT_EQ(tb.clientNic().function(0).node(), 0);
+}
+
+TEST(Testbed, StandardModesBindAllQueuesToPf0)
+{
+    for (auto mode : {ServerMode::Local, ServerMode::Remote}) {
+        TestbedConfig cfg;
+        cfg.mode = mode;
+        Testbed tb(cfg);
+        for (int q = 0; q < tb.serverNic().queueCount(); ++q)
+            EXPECT_EQ(tb.serverNic().queue(q).pf->id(), 0);
+    }
+}
+
+TEST(Testbed, IoctopusBindsQueuesToLocalPf)
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Ioctopus;
+    Testbed tb(cfg);
+    for (int q = 0; q < tb.serverNic().queueCount(); ++q) {
+        const auto& queue = tb.serverNic().queue(q);
+        EXPECT_EQ(queue.pf->node(), queue.irqCore->node())
+            << "queue " << q;
+    }
+}
+
+TEST(Testbed, WorkNodePlacesLocalOnNicSocket)
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Local;
+    EXPECT_EQ(Testbed(cfg).workNode(), 0);
+    cfg.mode = ServerMode::Remote;
+    EXPECT_EQ(Testbed(cfg).workNode(), 1);
+    cfg.mode = ServerMode::Ioctopus;
+    EXPECT_EQ(Testbed(cfg).workNode(), 1); // comparable to remote
+}
+
+TEST(Testbed, ConnectPairsSockets)
+{
+    TestbedConfig cfg;
+    Testbed tb(cfg);
+    auto st = tb.serverThread(1, 0);
+    auto ct = tb.clientThread(0);
+    auto pair = tb.connect(st, ct);
+    ASSERT_NE(pair.serverSock, nullptr);
+    ASSERT_NE(pair.clientSock, nullptr);
+    EXPECT_EQ(pair.serverSock->peer, pair.clientSock);
+    EXPECT_EQ(pair.clientSock->peer, pair.serverSock);
+    EXPECT_EQ(pair.serverSock->rxFlow, pair.clientSock->txFlow);
+    EXPECT_EQ(pair.clientSock->rxFlow, pair.serverSock->txFlow);
+}
+
+TEST(Testbed, ConnectionsGetDistinctFlows)
+{
+    TestbedConfig cfg;
+    Testbed tb(cfg);
+    auto st = tb.serverThread(1, 0);
+    auto ct = tb.clientThread(0);
+    auto a = tb.connect(st, ct);
+    auto b = tb.connect(st, ct);
+    EXPECT_FALSE(a.serverSock->rxFlow == b.serverSock->rxFlow);
+}
+
+TEST(Testbed, TwoNicsAssignsSecondIpToNode1Sockets)
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::TwoNics;
+    Testbed tb(cfg);
+    auto st0 = tb.serverThread(0, 0);
+    auto st1 = tb.serverThread(1, 0);
+    auto ct = tb.clientThread(0);
+    auto a = tb.connect(st0, ct);
+    auto b = tb.connect(st1, ct);
+    EXPECT_EQ(a.serverSock->rxFlow.dstIp, Testbed::kServerIp);
+    EXPECT_EQ(b.serverSock->rxFlow.dstIp, Testbed::kServerIp2);
+    EXPECT_EQ(a.serverSock->steerDomain, 0);
+    EXPECT_EQ(b.serverSock->steerDomain, 1);
+}
+
+TEST(Testbed, DdioFlagsPropagate)
+{
+    TestbedConfig cfg;
+    cfg.serverDdio = false;
+    cfg.clientDdio = true;
+    Testbed tb(cfg);
+    EXPECT_FALSE(tb.server().llc(0).ddioEnabled());
+    EXPECT_FALSE(tb.server().llc(1).ddioEnabled());
+    EXPECT_TRUE(tb.client().llc(0).ddioEnabled());
+}
+
+TEST(Testbed, RunForAdvancesClock)
+{
+    TestbedConfig cfg;
+    Testbed tb(cfg);
+    tb.runFor(sim::fromUs(100));
+    EXPECT_EQ(tb.sim().now(), sim::fromUs(100));
+    tb.runFor(sim::fromUs(50));
+    EXPECT_EQ(tb.sim().now(), sim::fromUs(150));
+}
+
+TEST(Testbed, XpsMapsEveryServerCore)
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Ioctopus;
+    Testbed tb(cfg);
+    for (int c = 0; c < tb.server().totalCores(); ++c) {
+        const int qid = tb.serverStack(0).queueForCore(c);
+        EXPECT_EQ(tb.serverNic().queue(qid).irqCore->id(), c);
+    }
+}
+
+} // namespace
+} // namespace octo::core

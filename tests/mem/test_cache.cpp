@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for the LLC/DDIO model.
+ */
+#include <gtest/gtest.h>
+
+#include "mem/cache.hpp"
+
+namespace octo::mem {
+namespace {
+
+TEST(LlcModel, DdioAllocatesLocallyOnly)
+{
+    LlcModel llc(32 << 20, /*ddio=*/true);
+    EXPECT_EQ(llc.dmaWriteLocation(0, 0), DataLoc::Llc);
+    EXPECT_EQ(llc.dmaWriteLocation(1, 0), DataLoc::Dram);
+    EXPECT_EQ(llc.dmaWriteLocation(1, 1), DataLoc::Llc);
+}
+
+TEST(LlcModel, DdioDisabledAlwaysDram)
+{
+    LlcModel llc(32 << 20, /*ddio=*/false);
+    EXPECT_EQ(llc.dmaWriteLocation(0, 0), DataLoc::Dram);
+    EXPECT_EQ(llc.dmaWriteLocation(1, 0), DataLoc::Dram);
+}
+
+TEST(LlcModel, DdioToggle)
+{
+    LlcModel llc(32 << 20, true);
+    EXPECT_TRUE(llc.ddioEnabled());
+    llc.setDdioEnabled(false);
+    EXPECT_EQ(llc.dmaWriteLocation(0, 0), DataLoc::Dram);
+}
+
+TEST(LlcModel, HitFractionFullWhileFitting)
+{
+    LlcModel llc(32 << 20);
+    llc.addPressure(16 << 20);
+    EXPECT_DOUBLE_EQ(llc.hitFraction(), 1.0);
+    llc.addPressure(16 << 20); // exactly at capacity
+    EXPECT_DOUBLE_EQ(llc.hitFraction(), 1.0);
+}
+
+TEST(LlcModel, HitFractionDegradesWithOversubscription)
+{
+    LlcModel llc(32 << 20);
+    llc.addPressure(64 << 20);
+    EXPECT_DOUBLE_EQ(llc.hitFraction(), 0.5);
+    llc.addPressure(64 << 20);
+    EXPECT_DOUBLE_EQ(llc.hitFraction(), 0.25);
+}
+
+TEST(LlcModel, RemovePressureRestores)
+{
+    LlcModel llc(32 << 20);
+    llc.addPressure(96 << 20);
+    EXPECT_LT(llc.hitFraction(), 0.5);
+    llc.removePressure(96 << 20);
+    EXPECT_DOUBLE_EQ(llc.hitFraction(), 1.0);
+}
+
+TEST(LlcModel, RemoveMoreThanAddedClampsToZero)
+{
+    LlcModel llc(32 << 20);
+    llc.addPressure(1 << 20);
+    llc.removePressure(10 << 20);
+    EXPECT_EQ(llc.pressure(), 0u);
+}
+
+TEST(LlcModel, PressureScopeBalances)
+{
+    LlcModel llc(32 << 20);
+    {
+        LlcModel::PressureScope a(llc, 40 << 20);
+        EXPECT_LT(llc.hitFraction(), 1.0);
+        {
+            LlcModel::PressureScope b(llc, 40 << 20);
+            EXPECT_DOUBLE_EQ(llc.hitFraction(), 32.0 / 80.0);
+        }
+        EXPECT_DOUBLE_EQ(llc.hitFraction(), 32.0 / 40.0);
+    }
+    EXPECT_EQ(llc.pressure(), 0u);
+}
+
+TEST(LlcModel, PressureScopeMoveTransfers)
+{
+    LlcModel llc(32 << 20);
+    {
+        LlcModel::PressureScope a(llc, 8 << 20);
+        LlcModel::PressureScope b(std::move(a));
+        EXPECT_EQ(llc.pressure(), 8u << 20);
+    }
+    EXPECT_EQ(llc.pressure(), 0u);
+}
+
+} // namespace
+} // namespace octo::mem

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit tests for the NIC device model: steering, rings, DMA locality,
+ * TSO segmentation, interrupts, and per-PF accounting.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "nic/device.hpp"
+#include "sim/task.hpp"
+
+namespace octo::nic {
+namespace {
+
+using mem::DataLoc;
+using sim::Task;
+using sim::Tick;
+using sim::fromUs;
+
+class RecordingSink : public NicSink
+{
+  public:
+    std::vector<int> rx;
+    std::vector<int> tx;
+    void rxReady(int qid) override { rx.push_back(qid); }
+    void txReady(int qid) override { tx.push_back(qid); }
+};
+
+struct Fixture
+{
+    Fixture()
+        : serverM(sim, cal(), "server"), clientM(sim, cal(), "client"),
+          server(serverM, "snic"), client(clientM, "cnic"),
+          wire(sim, 100.0, sim::fromNs(500))
+    {
+        wire.attach(&server, &client);
+        server.connect(wire);
+        client.connect(wire);
+    }
+
+    static topo::Calibration
+    cal()
+    {
+        topo::Calibration c;
+        c.coresPerNode = 4;
+        return c;
+    }
+
+    FiveTuple
+    flow(std::uint32_t dst_ip = 20, std::uint16_t sport = 1) const
+    {
+        FiveTuple f;
+        f.srcIp = 10;
+        f.dstIp = dst_ip;
+        f.srcPort = sport;
+        f.dstPort = 5001;
+        return f;
+    }
+
+    Frame
+    frame(const FiveTuple& fl, std::uint32_t bytes, std::uint64_t seq)
+    {
+        Frame f;
+        f.flow = fl;
+        f.payloadBytes = bytes;
+        f.seq = seq;
+        return f;
+    }
+
+    sim::Simulator sim;
+    topo::Machine serverM;
+    topo::Machine clientM;
+    NicDevice server;
+    NicDevice client;
+    Wire wire;
+};
+
+TEST(NicDevice, RssFallbackIsDeterministic)
+{
+    Fixture f;
+    auto& pf = f.server.addFunction(0, 8);
+    std::vector<int> qids;
+    for (int i = 0; i < 4; ++i)
+        qids.push_back(f.server.addQueue(f.serverM.core(i), pf));
+    f.server.addNetdev(20, qids);
+    const int q1 = f.server.classify(f.flow());
+    const int q2 = f.server.classify(f.flow());
+    EXPECT_EQ(q1, q2);
+    EXPECT_GE(q1, 0);
+    EXPECT_LT(q1, 4);
+}
+
+TEST(NicDevice, SteeringRuleOverridesRss)
+{
+    Fixture f;
+    auto& pf = f.server.addFunction(0, 8);
+    std::vector<int> qids;
+    for (int i = 0; i < 4; ++i)
+        qids.push_back(f.server.addQueue(f.serverM.core(i), pf));
+    f.server.addNetdev(20, qids);
+    f.server.steerFlow(f.flow(), 3);
+    EXPECT_EQ(f.server.classify(f.flow()), 3);
+    f.server.clearFlow(f.flow());
+    EXPECT_NE(f.server.classify(f.flow()), -1); // falls back to RSS
+}
+
+TEST(NicDevice, NetdevSelectedByDestinationAddress)
+{
+    Fixture f;
+    auto& pf0 = f.server.addFunction(0, 8);
+    auto& pf1 = f.server.addFunction(1, 8);
+    const int q0 = f.server.addQueue(f.serverM.core(0), pf0);
+    const int q1 = f.server.addQueue(f.serverM.coreOn(1, 0), pf1);
+    f.server.addNetdev(20, {q0});
+    f.server.addNetdev(21, {q1});
+    EXPECT_EQ(f.server.classify(f.flow(20)), q0);
+    EXPECT_EQ(f.server.classify(f.flow(21)), q1);
+}
+
+TEST(NicDevice, RxDmaLocalityFollowsQueuePf)
+{
+    Fixture f;
+    auto& pf0 = f.server.addFunction(0, 8);
+    const int q_local = f.server.addQueue(f.serverM.core(0), pf0);
+    const int q_remote =
+        f.server.addQueue(f.serverM.coreOn(1, 0), pf0);
+    f.server.addNetdev(20, {q_local, q_remote});
+    f.server.start();
+
+    // Steer one flow to each queue and deliver a frame.
+    auto fl_local = f.flow(20, 1);
+    auto fl_remote = f.flow(20, 2);
+    f.server.steerFlow(fl_local, q_local);
+    f.server.steerFlow(fl_remote, q_remote);
+    f.server.acceptFrame(f.frame(fl_local, 1500, 0));
+    f.server.acceptFrame(f.frame(fl_remote, 1500, 0));
+    f.sim.run();
+
+    auto local_comp = f.server.queue(q_local).rxCq.tryPop();
+    auto remote_comp = f.server.queue(q_remote).rxCq.tryPop();
+    ASSERT_TRUE(local_comp && remote_comp);
+    EXPECT_EQ(local_comp->dataLoc, DataLoc::Llc);  // DDIO
+    EXPECT_EQ(local_comp->cqeLoc, DataLoc::Llc);
+    EXPECT_EQ(remote_comp->dataLoc, DataLoc::Dram); // NUDMA
+    EXPECT_EQ(remote_comp->cqeLoc, DataLoc::Dram);
+}
+
+TEST(NicDevice, RxRingExhaustionDrops)
+{
+    Fixture f;
+    auto& pf = f.server.addFunction(0, 8);
+    const int qid = f.server.addQueue(f.serverM.core(0), pf,
+                                      /*ring_entries=*/8);
+    f.server.addNetdev(20, {qid});
+    f.server.start();
+    for (int i = 0; i < 20; ++i)
+        f.server.acceptFrame(f.frame(f.flow(), 1500, i));
+    f.sim.run();
+    EXPECT_EQ(f.server.queue(qid).rxFrames, 8u);
+    EXPECT_EQ(f.server.rxDrops(), 12u);
+}
+
+TEST(NicDevice, TsoSegmentsOntoWire)
+{
+    Fixture f;
+    auto& spf = f.server.addFunction(0, 8);
+    const int sq = f.server.addQueue(f.serverM.core(0), spf);
+    f.server.addNetdev(20, {sq});
+    auto& cpf = f.client.addFunction(0, 16);
+    const int cq = f.client.addQueue(f.clientM.core(0), cpf);
+    f.client.addNetdev(10, {cq});
+    f.server.start();
+    f.client.start();
+
+    // 64 KB TSO descriptor: the peer should see ceil(65536/1500) = 44
+    // MTU-sized frames.
+    auto t = sim::spawn([&]() -> Task<> {
+        TxDesc d;
+        d.flow = f.flow(10);
+        d.bytes = 64 << 10;
+        d.skbNode = 0;
+        d.loc = DataLoc::Llc;
+        co_await f.server.postTx(0, d);
+    });
+    f.sim.run();
+    EXPECT_EQ(f.client.queue(cq).rxFrames, 44u);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(NicDevice, RxIrqRaisedOnceUntilRearmed)
+{
+    Fixture f;
+    auto& pf = f.server.addFunction(0, 8);
+    const int qid = f.server.addQueue(f.serverM.core(0), pf);
+    f.server.addNetdev(20, {qid});
+    RecordingSink sink;
+    f.server.setSink(&sink);
+    f.server.start();
+
+    for (int i = 0; i < 5; ++i)
+        f.server.acceptFrame(f.frame(f.flow(), 1500, i));
+    f.sim.run();
+    EXPECT_EQ(sink.rx.size(), 1u); // coalesced into one interrupt
+    EXPECT_EQ(sink.rx[0], qid);
+
+    // Rearm with a non-empty queue: fires again.
+    f.server.rearmRxIrq(qid);
+    f.sim.run();
+    EXPECT_EQ(sink.rx.size(), 2u);
+}
+
+TEST(NicDevice, RearmOnEmptyQueueStaysQuiet)
+{
+    Fixture f;
+    auto& pf = f.server.addFunction(0, 8);
+    const int qid = f.server.addQueue(f.serverM.core(0), pf);
+    f.server.addNetdev(20, {qid});
+    RecordingSink sink;
+    f.server.setSink(&sink);
+    f.server.start();
+    f.server.rearmRxIrq(qid);
+    f.sim.run();
+    EXPECT_TRUE(sink.rx.empty());
+}
+
+TEST(NicDevice, CoalescingDelaysInterrupt)
+{
+    Fixture f;
+    auto& pf = f.server.addFunction(0, 8);
+    const int qid = f.server.addQueue(f.serverM.core(0), pf);
+    f.server.addNetdev(20, {qid});
+    RecordingSink sink;
+    f.server.setSink(&sink);
+    f.server.setRxCoalesce(fromUs(50));
+    f.server.start();
+    f.server.acceptFrame(f.frame(f.flow(), 64, 0));
+    f.sim.runUntil(fromUs(20));
+    EXPECT_TRUE(sink.rx.empty()); // still coalescing
+    f.sim.run();
+    EXPECT_EQ(sink.rx.size(), 1u);
+}
+
+TEST(NicDevice, PerPfRxByteAccounting)
+{
+    Fixture f;
+    auto& pf0 = f.server.addFunction(0, 8);
+    auto& pf1 = f.server.addFunction(1, 8);
+    const int q0 = f.server.addQueue(f.serverM.core(0), pf0);
+    const int q1 = f.server.addQueue(f.serverM.coreOn(1, 0), pf1);
+    f.server.addNetdev(20, {q0, q1});
+    f.server.start();
+    auto fl = f.flow();
+    f.server.steerFlow(fl, q1);
+    f.server.acceptFrame(f.frame(fl, 1500, 0));
+    f.sim.run();
+    EXPECT_EQ(f.server.pfRxBytes(0), 0u);
+    EXPECT_GE(f.server.pfRxBytes(1), 1500u);
+}
+
+TEST(NicDevice, TxCompletionCarriesRingLocality)
+{
+    Fixture f;
+    auto& spf = f.server.addFunction(0, 8);
+    // Queue on node 1 but PF on node 0: completions land in DRAM.
+    const int sq = f.server.addQueue(f.serverM.coreOn(1, 0), spf);
+    f.server.addNetdev(20, {sq});
+    auto& cpf = f.client.addFunction(0, 16);
+    f.client.addNetdev(10, {f.client.addQueue(f.clientM.core(0), cpf)});
+    f.server.start();
+    f.client.start();
+
+    auto t = sim::spawn([&]() -> Task<> {
+        TxDesc d;
+        d.flow = f.flow(10);
+        d.bytes = 1500;
+        d.skbNode = 1;
+        d.loc = DataLoc::Llc;
+        co_await f.server.postTx(0, d);
+    });
+    f.sim.run();
+    auto comp = f.server.queue(sq).txCq.tryPop();
+    ASSERT_TRUE(comp.has_value());
+    EXPECT_EQ(comp->cqeLoc, DataLoc::Dram);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(FiveTuple, ReversedSwapsEndpoints)
+{
+    FiveTuple f;
+    f.srcIp = 1;
+    f.dstIp = 2;
+    f.srcPort = 3;
+    f.dstPort = 4;
+    const FiveTuple r = f.reversed();
+    EXPECT_EQ(r.srcIp, 2u);
+    EXPECT_EQ(r.dstIp, 1u);
+    EXPECT_EQ(r.srcPort, 4);
+    EXPECT_EQ(r.dstPort, 3);
+    EXPECT_EQ(r.reversed(), f);
+}
+
+TEST(FiveTuple, HashDistinguishesFlows)
+{
+    FiveTuple a;
+    a.srcPort = 1;
+    FiveTuple b;
+    b.srcPort = 2;
+    EXPECT_NE(a.hash(), b.hash());
+    EXPECT_EQ(a.hash(), FiveTuple(a).hash());
+}
+
+} // namespace
+} // namespace octo::nic

@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Integration tests for the network stack on the full testbed: byte
+ * integrity, ordering, flow control, Nagle, GRO, ARFS steering, and
+ * migration semantics.
+ */
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "sim/task.hpp"
+#include "workloads/netperf.hpp"
+
+namespace octo::os {
+namespace {
+
+using core::ServerMode;
+using core::Testbed;
+using core::TestbedConfig;
+using sim::Task;
+using sim::fromMs;
+using sim::fromUs;
+using sim::spawn;
+
+TestbedConfig
+cfgFor(ServerMode mode)
+{
+    TestbedConfig cfg;
+    cfg.mode = mode;
+    return cfg;
+}
+
+// ---------------------------------------------------------------------
+// Byte integrity across sizes and server modes (property-style sweep).
+// ---------------------------------------------------------------------
+
+class StreamIntegrity
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+};
+
+TEST_P(StreamIntegrity, ExactBytesDeliveredInOrder)
+{
+    const auto mode = static_cast<ServerMode>(std::get<0>(GetParam()));
+    const std::uint64_t msg = std::get<1>(GetParam());
+
+    Testbed tb(cfgFor(mode));
+    auto server_t = tb.serverThread(tb.workNode(), 0);
+    auto client_t = tb.clientThread(0);
+    auto pair = tb.connect(server_t, client_t);
+
+    const int reps = 40;
+    auto sender = spawn([&]() -> Task<> {
+        for (int i = 0; i < reps; ++i) {
+            co_await pair.clientStack->send(pair.clientCtx,
+                                            *pair.clientSock, msg);
+        }
+    });
+    auto receiver = spawn([&]() -> Task<> {
+        for (int i = 0; i < reps; ++i) {
+            co_await pair.serverStack->recv(pair.serverCtx,
+                                            *pair.serverSock, msg);
+        }
+    });
+    tb.runFor(fromMs(200));
+    EXPECT_TRUE(sender.done());
+    EXPECT_TRUE(receiver.done());
+    EXPECT_EQ(pair.serverSock->bytesDelivered, msg * reps);
+    EXPECT_EQ(tb.serverNic().rxDrops(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndModes, StreamIntegrity,
+    ::testing::Combine(
+        ::testing::Values(static_cast<int>(ServerMode::Local),
+                          static_cast<int>(ServerMode::Remote),
+                          static_cast<int>(ServerMode::Ioctopus),
+                          static_cast<int>(ServerMode::TwoNics)),
+        ::testing::Values(1ull, 64ull, 1000ull, 1500ull, 1501ull,
+                          4096ull, 65536ull, 200000ull)));
+
+// ---------------------------------------------------------------------
+// Ordering and steering.
+// ---------------------------------------------------------------------
+
+TEST(NetStack, SteadyStateHasNoReordering)
+{
+    Testbed tb(cfgFor(ServerMode::Ioctopus));
+    auto server_t = tb.serverThread(1, 0);
+    auto client_t = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, server_t, client_t, 64 << 10,
+                                    workloads::StreamDir::ServerRx);
+    stream.start();
+    tb.runFor(fromMs(5));
+    const auto early = stream.serverSocket().oooEvents;
+    tb.runFor(fromMs(30));
+    EXPECT_EQ(stream.serverSocket().oooEvents, early)
+        << "reordering observed after the startup steering transition";
+}
+
+TEST(NetStack, ArfsInstallsSteeringForConsumer)
+{
+    Testbed tb(cfgFor(ServerMode::Ioctopus));
+    auto server_t = tb.serverThread(1, 3);
+    auto client_t = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, server_t, client_t, 16 << 10,
+                                    workloads::StreamDir::ServerRx);
+    stream.start();
+    tb.runFor(fromMs(3));
+    const int qid =
+        tb.serverNic().classify(stream.serverSocket().rxFlow);
+    EXPECT_EQ(tb.serverNic().queue(qid).irqCore->id(),
+              server_t.core().id());
+    // octo firmware: that queue's PF is local to the consumer's node.
+    EXPECT_EQ(tb.serverNic().queue(qid).pf->node(), 1);
+}
+
+TEST(NetStack, MigrationMovesTrafficToLocalPf)
+{
+    Testbed tb(cfgFor(ServerMode::Ioctopus));
+    auto server_t = tb.serverThread(0, 0);
+    auto client_t = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, server_t, client_t, 64 << 10,
+                                    workloads::StreamDir::ServerRx);
+    stream.start();
+    tb.runFor(fromMs(10));
+    EXPECT_GT(tb.serverNic().pfRxBytes(0), 0u);
+    const auto pf1_before = tb.serverNic().pfRxBytes(1);
+
+    auto mig = spawn([&]() -> Task<> {
+        co_await stream.pair().serverCtx.migrate(
+            tb.server().coreOn(1, 0));
+    });
+    tb.runFor(fromMs(10));
+    EXPECT_TRUE(mig.done());
+    const auto pf0_mid = tb.serverNic().pfRxBytes(0);
+    EXPECT_GT(tb.serverNic().pfRxBytes(1), pf1_before);
+    tb.runFor(fromMs(10));
+    // All new traffic flows through PF1; PF0 is quiet.
+    EXPECT_NEAR(static_cast<double>(tb.serverNic().pfRxBytes(0)),
+                static_cast<double>(pf0_mid), 64.0 * 10);
+}
+
+TEST(NetStack, StandardFirmwareCannotFollowMigrationAcrossPfs)
+{
+    Testbed tb(cfgFor(ServerMode::Local));
+    auto server_t = tb.serverThread(0, 0);
+    auto client_t = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, server_t, client_t, 64 << 10,
+                                    workloads::StreamDir::ServerRx);
+    stream.start();
+    tb.runFor(fromMs(10));
+    auto mig = spawn([&]() -> Task<> {
+        co_await stream.pair().serverCtx.migrate(
+            tb.server().coreOn(1, 0));
+    });
+    tb.runFor(fromMs(10));
+    EXPECT_TRUE(mig.done());
+    // The flow is re-steered to the new core's queue, but every queue of
+    // this netdev is behind PF0: PF1 never carries traffic.
+    EXPECT_EQ(tb.serverNic().pfRxBytes(1), 0u);
+    const int qid =
+        tb.serverNic().classify(stream.serverSocket().rxFlow);
+    EXPECT_EQ(tb.serverNic().queue(qid).irqCore->node(), 1);
+    EXPECT_EQ(tb.serverNic().queue(qid).pf->node(), 0); // NUDMA
+}
+
+TEST(NetStack, TwoNicsSocketPinnedToItsDevice)
+{
+    Testbed tb(cfgFor(ServerMode::TwoNics));
+    auto server_t = tb.serverThread(1, 0);
+    auto client_t = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, server_t, client_t, 64 << 10,
+                                    workloads::StreamDir::ServerRx);
+    stream.start();
+    tb.runFor(fromMs(5));
+    EXPECT_EQ(stream.serverSocket().steerDomain, 1);
+    auto mig = spawn([&]() -> Task<> {
+        co_await stream.pair().serverCtx.migrate(
+            tb.server().coreOn(0, 0));
+    });
+    tb.runFor(fromMs(10));
+    EXPECT_TRUE(mig.done());
+    // Migration to node 0 cannot re-steer the flow off netdev 1: the
+    // steering still targets a node-1 queue.
+    const int qid =
+        tb.serverNic().classify(stream.serverSocket().rxFlow);
+    EXPECT_EQ(tb.serverNic().queue(qid).pf->node(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Flow control, Nagle, GRO.
+// ---------------------------------------------------------------------
+
+TEST(NetStack, WindowBoundsUnconsumedBytes)
+{
+    Testbed tb(cfgFor(ServerMode::Local));
+    auto server_t = tb.serverThread(0, 0);
+    auto client_t = tb.clientThread(0);
+    auto pair = tb.connect(server_t, client_t);
+
+    // Sender floods; the receiver never consumes.
+    auto sender = spawn([&]() -> Task<> {
+        for (;;) {
+            co_await pair.clientStack->send(pair.clientCtx,
+                                            *pair.clientSock, 64 << 10);
+        }
+    });
+    tb.runFor(fromMs(20));
+    EXPECT_LE(pair.serverSock->rxBytesAvail,
+              tb.config().stack.windowBytes);
+    EXPECT_EQ(tb.serverNic().rxDrops(), 0u);
+}
+
+TEST(NetStack, NagleCoalescesSmallWrites)
+{
+    Testbed tb(cfgFor(ServerMode::Local));
+    auto server_t = tb.serverThread(0, 0);
+    auto client_t = tb.clientThread(0);
+    auto pair = tb.connect(server_t, client_t);
+
+    const int writes = 2000;
+    auto sender = spawn([&]() -> Task<> {
+        for (int i = 0; i < writes; ++i) {
+            co_await pair.clientStack->send(pair.clientCtx,
+                                            *pair.clientSock, 64,
+                                            /*last_of_message=*/false);
+        }
+    });
+    auto receiver = spawn([&]() -> Task<> {
+        co_await pair.serverStack->recv(pair.serverCtx, *pair.serverSock,
+                                        64ull * writes);
+    });
+    tb.runFor(fromMs(100));
+    EXPECT_TRUE(sender.done());
+    // 2000 x 64 B = 128 KB: with coalescing this is on the order of
+    // ~90-170 MTU frames (idle-pipe flushes add a few), not 2000 tiny
+    // ones.
+    std::uint64_t frames = 0;
+    for (int q = 0; q < tb.serverNic().queueCount(); ++q)
+        frames += tb.serverNic().queue(q).rxFrames;
+    EXPECT_LT(frames, 400u);
+    EXPECT_GT(frames, 60u);
+}
+
+TEST(NetStack, PushFlushesFinalSmallWrite)
+{
+    Testbed tb(cfgFor(ServerMode::Local));
+    auto server_t = tb.serverThread(0, 0);
+    auto client_t = tb.clientThread(0);
+    auto pair = tb.connect(server_t, client_t);
+
+    auto rr = spawn([&]() -> Task<> {
+        // A lone 64 B message must not wait for an MTU's worth.
+        co_await pair.clientStack->send(pair.clientCtx, *pair.clientSock,
+                                        64, /*last_of_message=*/true);
+    });
+    auto receiver = spawn([&]() -> Task<> {
+        co_await pair.serverStack->recv(pair.serverCtx, *pair.serverSock,
+                                        64);
+    });
+    tb.runFor(fromMs(5));
+    EXPECT_TRUE(rr.done());
+    EXPECT_TRUE(receiver.done());
+}
+
+TEST(NetStack, GroMergesBackToBackFrames)
+{
+    Testbed tb(cfgFor(ServerMode::Local));
+    auto server_t = tb.serverThread(0, 0);
+    auto client_t = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, server_t, client_t, 64 << 10,
+                                    workloads::StreamDir::ServerRx);
+    stream.start();
+    tb.runFor(fromMs(20));
+    // Throughput implies ~44 frames per 64 KB message; softirq passes
+    // far fewer (merged) segments to the socket. The stack-level counter
+    // counts frames; socket-level message count is implicit in
+    // bytesDelivered. Check the ratio of frames to wakeups via rxq
+    // behavior: with GRO the socket sees large segments.
+    EXPECT_GT(tb.serverStack(0).rxPacketsProcessed(), 1000u);
+    EXPECT_GT(stream.bytesDelivered(), 10u << 20);
+}
+
+// ---------------------------------------------------------------------
+// NUDMA effects at the stack level.
+// ---------------------------------------------------------------------
+
+TEST(NetStack, RemoteConfigSlowerAndMemoryHungry)
+{
+    auto run = [](ServerMode mode) {
+        Testbed tb(cfgFor(mode));
+        auto server_t = tb.serverThread(tb.workNode(), 0);
+        auto client_t = tb.clientThread(0);
+        workloads::NetperfStream stream(tb, server_t, client_t, 64 << 10,
+                                        workloads::StreamDir::ServerRx);
+        stream.start();
+        tb.runFor(fromMs(5));
+        const auto b0 = stream.bytesDelivered();
+        const auto d0 = tb.server().dramBytesTotal();
+        tb.runFor(fromMs(20));
+        return std::pair<double, double>(
+            static_cast<double>(stream.bytesDelivered() - b0),
+            static_cast<double>(tb.server().dramBytesTotal() - d0));
+    };
+    const auto [local_bytes, local_dram] = run(ServerMode::Local);
+    const auto [remote_bytes, remote_dram] = run(ServerMode::Remote);
+    const auto [ioct_bytes, ioct_dram] = run(ServerMode::Ioctopus);
+
+    EXPECT_GT(local_bytes, remote_bytes * 1.15);
+    EXPECT_NEAR(ioct_bytes, local_bytes, local_bytes * 0.02);
+    EXPECT_NEAR(remote_dram / remote_bytes, 3.0, 0.5);
+    EXPECT_LT(local_dram / local_bytes, 0.1);
+    EXPECT_LT(ioct_dram / ioct_bytes, 0.1);
+}
+
+TEST(NetStack, DdioOffMakesLocalPayDramToo)
+{
+    TestbedConfig cfg = cfgFor(ServerMode::Local);
+    cfg.serverDdio = false;
+    Testbed tb(cfg);
+    auto server_t = tb.serverThread(0, 0);
+    auto client_t = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, server_t, client_t, 64 << 10,
+                                    workloads::StreamDir::ServerRx);
+    stream.start();
+    tb.runFor(fromMs(5));
+    const auto d0 = tb.server().dramBytesTotal();
+    const auto b0 = stream.bytesDelivered();
+    tb.runFor(fromMs(20));
+    const double ratio =
+        static_cast<double>(tb.server().dramBytesTotal() - d0) /
+        static_cast<double>(stream.bytesDelivered() - b0);
+    EXPECT_GT(ratio, 2.0); // no DDIO: every byte through DRAM
+}
+
+} // namespace
+} // namespace octo::os

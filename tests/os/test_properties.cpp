@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Property-style tests: determinism of the whole stack, randomized
+ * multi-flow integrity, and ratio invariants across the preset sweep.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/testbed.hpp"
+#include "sim/rng.hpp"
+#include "workloads/netperf.hpp"
+
+namespace octo::os {
+namespace {
+
+using core::ServerMode;
+using core::Testbed;
+using core::TestbedConfig;
+using sim::Task;
+using sim::fromMs;
+using sim::spawn;
+
+/** One full stream experiment, returning its exact byte count. */
+std::uint64_t
+runOnce(ServerMode mode, std::uint64_t msg)
+{
+    TestbedConfig cfg;
+    cfg.mode = mode;
+    Testbed tb(cfg);
+    auto st = tb.serverThread(tb.workNode(), 0);
+    auto ct = tb.clientThread(0);
+    workloads::NetperfStream s(tb, st, ct, msg,
+                               workloads::StreamDir::ServerRx);
+    s.start();
+    tb.runFor(fromMs(20));
+    return s.bytesDelivered();
+}
+
+TEST(Determinism, IdenticalRunsProduceIdenticalBytes)
+{
+    for (auto mode : {ServerMode::Local, ServerMode::Remote,
+                      ServerMode::Ioctopus}) {
+        const auto a = runOnce(mode, 64 << 10);
+        const auto b = runOnce(mode, 64 << 10);
+        EXPECT_EQ(a, b) << core::modeName(mode);
+        EXPECT_GT(a, 0u);
+    }
+}
+
+class ModeOrdering : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(ModeOrdering, LocalEqualsIoctopusAndBeatsRemote)
+{
+    const std::uint64_t msg = GetParam();
+    const auto local = runOnce(ServerMode::Local, msg);
+    const auto remote = runOnce(ServerMode::Remote, msg);
+    const auto ioct = runOnce(ServerMode::Ioctopus, msg);
+    EXPECT_GE(local, remote) << "msg " << msg;
+    // ioct within 3% of local, always ahead of remote.
+    EXPECT_NEAR(static_cast<double>(ioct), static_cast<double>(local),
+                0.03 * local);
+    EXPECT_GE(ioct, remote);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ModeOrdering,
+                         ::testing::Values(256ull, 1500ull, 4096ull,
+                                           16384ull, 65536ull));
+
+TEST(MultiFlow, RandomizedFlowsAllDeliverExactly)
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Ioctopus;
+    Testbed tb(cfg);
+    sim::Rng rng(2026);
+
+    struct Flow
+    {
+        explicit Flow(core::TcpPair p) : pair(std::move(p)) {}
+        core::TcpPair pair;
+        std::uint64_t msg = 0;
+        int reps = 0;
+        sim::Task<> tx;
+        sim::Task<> rx;
+    };
+    std::vector<std::unique_ptr<Flow>> flows;
+    for (int i = 0; i < 10; ++i) {
+        auto st = tb.serverThread(static_cast<int>(rng.below(2)),
+                                  static_cast<int>(rng.below(14)));
+        auto ct = tb.clientThread(static_cast<int>(rng.below(14)));
+        auto f = std::make_unique<Flow>(tb.connect(st, ct));
+        f->msg = 1 + rng.below(48 << 10);
+        f->reps = static_cast<int>(2 + rng.below(20));
+        flows.push_back(std::move(f));
+    }
+    for (auto& f : flows) {
+        Flow* fp = f.get();
+        f->tx = spawn([fp]() -> Task<> {
+            for (int r = 0; r < fp->reps; ++r) {
+                co_await fp->pair.clientStack->send(
+                    fp->pair.clientCtx, *fp->pair.clientSock, fp->msg);
+            }
+        });
+        f->rx = spawn([fp]() -> Task<> {
+            for (int r = 0; r < fp->reps; ++r) {
+                co_await fp->pair.serverStack->recv(
+                    fp->pair.serverCtx, *fp->pair.serverSock, fp->msg);
+            }
+        });
+    }
+    tb.runFor(fromMs(400));
+    for (auto& f : flows) {
+        EXPECT_TRUE(f->tx.done() && f->rx.done());
+        EXPECT_EQ(f->pair.serverSock->bytesDelivered,
+                  f->msg * static_cast<std::uint64_t>(f->reps));
+    }
+    EXPECT_EQ(tb.serverNic().rxDrops(), 0u);
+}
+
+TEST(MultiFlow, BidirectionalTrafficOnOneSocket)
+{
+    TestbedConfig cfg;
+    Testbed tb(cfg);
+    auto st = tb.serverThread(1, 0);
+    auto ct = tb.clientThread(0);
+    auto pair = tb.connect(st, ct);
+    // Full-duplex: both directions stream simultaneously on the same
+    // connection, driven from different cores.
+    auto c2s = spawn([&]() -> Task<> {
+        for (int i = 0; i < 30; ++i)
+            co_await pair.clientStack->send(pair.clientCtx,
+                                            *pair.clientSock, 32 << 10);
+    });
+    auto s2c_ctx = tb.serverThread(1, 1);
+    auto s2c = spawn([&]() -> Task<> {
+        for (int i = 0; i < 30; ++i)
+            co_await pair.serverStack->send(s2c_ctx, *pair.serverSock,
+                                            32 << 10);
+    });
+    auto srv_rx = spawn([&]() -> Task<> {
+        co_await pair.serverStack->recv(pair.serverCtx, *pair.serverSock,
+                                        30ull * (32 << 10));
+    });
+    auto cli_rx_ctx = tb.clientThread(2);
+    auto cli_rx = spawn([&]() -> Task<> {
+        co_await pair.clientStack->recv(cli_rx_ctx, *pair.clientSock,
+                                        30ull * (32 << 10));
+    });
+    tb.runFor(fromMs(100));
+    EXPECT_TRUE(c2s.done() && s2c.done());
+    EXPECT_TRUE(srv_rx.done() && cli_rx.done());
+    EXPECT_EQ(pair.serverSock->bytesDelivered, 30ull * (32 << 10));
+    EXPECT_EQ(pair.clientSock->bytesDelivered, 30ull * (32 << 10));
+}
+
+} // namespace
+} // namespace octo::os

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Tests for the load-balancing scheduler, the Bonded baseline, and
+ * steering-rule expiry.
+ */
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/testbed.hpp"
+#include "os/scheduler.hpp"
+#include "workloads/netperf.hpp"
+
+namespace octo::os {
+namespace {
+
+using core::ServerMode;
+using core::Testbed;
+using core::TestbedConfig;
+using sim::Task;
+using sim::fromMs;
+using sim::fromUs;
+using sim::spawn;
+
+TEST(LoadBalancer, MovesThreadOffContendedCore)
+{
+    sim::Simulator sim;
+    topo::Calibration cal;
+    cal.coresPerNode = 4;
+    topo::Machine m(sim, cal);
+
+    // A hog saturates core 0; a managed worker shares it.
+    auto hog = [&]() -> Task<> {
+        for (;;)
+            co_await m.core(0).compute(fromUs(100));
+    };
+    auto h = hog();
+
+    ThreadCtx worker(m, m.core(0));
+    std::uint64_t iterations = 0;
+    auto work = [&]() -> Task<> {
+        for (;;) {
+            co_await worker.core().compute(fromUs(50));
+            ++iterations;
+        }
+    };
+    auto w = work();
+
+    LoadBalancer lb(m, SchedPolicy::FreeBalance, 0, fromMs(1));
+    lb.manage(worker);
+    lb.start();
+    sim.runUntil(fromMs(20));
+    EXPECT_GE(lb.migrations(), 1u);
+    EXPECT_NE(worker.core().id(), 0);
+}
+
+TEST(LoadBalancer, NicLocalPolicyStaysOnNode)
+{
+    sim::Simulator sim;
+    topo::Calibration cal;
+    cal.coresPerNode = 4;
+    topo::Machine m(sim, cal);
+
+    auto hog = [&]() -> Task<> {
+        for (;;)
+            co_await m.core(0).compute(fromUs(100));
+    };
+    auto h = hog();
+    ThreadCtx worker(m, m.core(0));
+    auto work = [&]() -> Task<> {
+        for (;;)
+            co_await worker.core().compute(fromUs(50));
+    };
+    auto w = work();
+
+    LoadBalancer lb(m, SchedPolicy::NicLocal, 0, fromMs(1));
+    lb.manage(worker);
+    lb.start();
+    sim.runUntil(fromMs(20));
+    EXPECT_EQ(worker.core().node(), 0); // never leaves the NIC node
+}
+
+TEST(LoadBalancer, IdleSystemDoesNotThrash)
+{
+    sim::Simulator sim;
+    topo::Calibration cal;
+    cal.coresPerNode = 4;
+    topo::Machine m(sim, cal);
+    ThreadCtx worker(m, m.core(0));
+    LoadBalancer lb(m, SchedPolicy::FreeBalance, 0, fromMs(1));
+    lb.manage(worker);
+    lb.start();
+    sim.runUntil(fromMs(20));
+    EXPECT_EQ(lb.migrations(), 0u); // hysteresis: nothing to balance
+}
+
+TEST(Bonded, SwitchHashSplitsFlowsAcrossPfs)
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Bonded;
+    Testbed tb(cfg);
+
+    // Many flows to one consumer node: the hash should land a healthy
+    // fraction on each member PF regardless of thread placement.
+    std::vector<std::unique_ptr<workloads::NetperfStream>> streams;
+    for (int i = 0; i < 12; ++i) {
+        auto st = tb.serverThread(1, i % 14);
+        auto ct = tb.clientThread(i % 14);
+        streams.push_back(std::make_unique<workloads::NetperfStream>(
+            tb, st, ct, 16 << 10, workloads::StreamDir::ServerRx));
+        streams.back()->start();
+    }
+    tb.runFor(fromMs(15));
+    EXPECT_GT(tb.serverNic().pfRxBytes(0), 0u);
+    EXPECT_GT(tb.serverNic().pfRxBytes(1), 0u);
+}
+
+TEST(Bonded, FlowCannotLeaveItsMemberLink)
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Bonded;
+    Testbed tb(cfg);
+    auto st = tb.serverThread(1, 0);
+    auto ct = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, st, ct, 64 << 10,
+                                    workloads::StreamDir::ServerRx);
+    stream.start();
+    tb.runFor(fromMs(5));
+    const int member = stream.serverSocket().steerDomain;
+    ASSERT_GE(member, 0);
+
+    // Migrate back and forth: the steering always resolves to a queue
+    // of the same member PF.
+    auto mig = spawn([&]() -> Task<> {
+        co_await stream.pair().serverCtx.migrate(
+            tb.server().coreOn(0, 3));
+    });
+    tb.runFor(fromMs(5));
+    const int qid = tb.serverNic().classify(stream.serverSocket().rxFlow);
+    EXPECT_EQ(tb.serverStack(0).queueDomain(qid), member);
+    EXPECT_TRUE(mig.done());
+}
+
+TEST(SteerExpiry, IdleFlowRuleIsRemovedAndReinstalled)
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Ioctopus;
+    cfg.stack.steerExpiry = fromMs(5);
+    Testbed tb(cfg);
+    auto st = tb.serverThread(1, 2);
+    auto ct = tb.clientThread(0);
+    auto pair = tb.connect(st, ct);
+
+    // One short exchange installs a rule...
+    auto xfer = [&](std::uint64_t bytes) {
+        auto sender = spawn([&, bytes]() -> Task<> {
+            co_await pair.clientStack->send(pair.clientCtx,
+                                            *pair.clientSock, bytes);
+        });
+        auto receiver = spawn([&, bytes]() -> Task<> {
+            co_await pair.serverStack->recv(pair.serverCtx,
+                                            *pair.serverSock, bytes);
+        });
+        tb.runFor(fromMs(2));
+        EXPECT_TRUE(sender.done() && receiver.done());
+    };
+    xfer(16 << 10);
+    const std::uint64_t updates0 =
+        tb.serverStack(0).steeringUpdates();
+    EXPECT_GE(updates0, 1u);
+
+    // ...a long idle period expires it...
+    tb.runFor(fromMs(30));
+    EXPECT_GE(tb.serverStack(0).steeringExpiries(), 1u);
+
+    // ...and the next exchange still works, re-installing the rule.
+    xfer(16 << 10);
+    EXPECT_EQ(pair.serverSock->bytesDelivered, 2u * (16 << 10));
+    EXPECT_GT(tb.serverStack(0).steeringUpdates(), updates0);
+}
+
+} // namespace
+} // namespace octo::os

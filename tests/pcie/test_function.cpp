@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Unit tests for PCIe physical functions: DDIO placement, routed DMA,
+ * bifurcated bandwidth, and MMIO latency.
+ */
+#include <gtest/gtest.h>
+
+#include "pcie/function.hpp"
+#include "sim/task.hpp"
+
+namespace octo::pcie {
+namespace {
+
+using mem::DataLoc;
+using sim::Task;
+using sim::Tick;
+using sim::spawn;
+
+struct Fixture
+{
+    sim::Simulator sim;
+    topo::Calibration cal;
+    topo::Machine m{sim, cal, "host"};
+};
+
+TEST(PciFunction, LocalDmaWriteAllocatesInLlc)
+{
+    Fixture f;
+    PciFunction pf(f.m, 0, 8, 0, "pf0");
+    DataLoc loc = DataLoc::Dram;
+    auto t = spawn([&]() -> Task<> {
+        loc = co_await pf.dmaWrite(0, 1500);
+    });
+    f.sim.run();
+    EXPECT_EQ(loc, DataLoc::Llc);
+    EXPECT_EQ(f.m.dram(0).totalBytes(), 0u); // DDIO: no DRAM traffic
+    EXPECT_TRUE(t.done());
+}
+
+TEST(PciFunction, RemoteDmaWriteLandsInDram)
+{
+    Fixture f;
+    PciFunction pf(f.m, 0, 8, 0, "pf0");
+    DataLoc loc = DataLoc::Llc;
+    auto t = spawn([&]() -> Task<> {
+        loc = co_await pf.dmaWrite(1, 1500);
+    });
+    f.sim.run();
+    EXPECT_EQ(loc, DataLoc::Dram);
+    EXPECT_EQ(f.m.dram(1).totalBytes(), 1500u);
+    EXPECT_EQ(f.m.qpi(0, 1).totalBytes(), 1500u);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(PciFunction, DdioDisabledWritesDramEvenLocally)
+{
+    Fixture f;
+    f.m.llc(0).setDdioEnabled(false);
+    PciFunction pf(f.m, 0, 8, 0, "pf0");
+    DataLoc loc = DataLoc::Llc;
+    auto t = spawn([&]() -> Task<> {
+        loc = co_await pf.dmaWrite(0, 1500);
+    });
+    f.sim.run();
+    EXPECT_EQ(loc, DataLoc::Dram);
+    EXPECT_EQ(f.m.dram(0).totalBytes(), 1500u);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(PciFunction, LocalLlcReadAvoidsDram)
+{
+    Fixture f;
+    PciFunction pf(f.m, 0, 8, 0, "pf0");
+    auto t = spawn([&]() -> Task<> {
+        co_await pf.dmaRead(0, 64 << 10, DataLoc::Llc);
+    });
+    f.sim.run();
+    EXPECT_EQ(f.m.dram(0).totalBytes(), 0u);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(PciFunction, RemoteReadOfCachedDataStillProbesDram)
+{
+    // Paper §5.1.1 (Fig. 7): remote DMA reads are satisfied by probing
+    // LLC and DRAM in parallel, so memory bandwidth equals throughput.
+    Fixture f;
+    PciFunction pf(f.m, 0, 8, 0, "pf0");
+    auto t = spawn([&]() -> Task<> {
+        co_await pf.dmaRead(1, 64 << 10, DataLoc::Llc);
+    });
+    f.sim.run();
+    EXPECT_EQ(f.m.dram(1).totalBytes(), 64u << 10);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(PciFunction, BandwidthScalesWithLanes)
+{
+    Fixture f;
+    PciFunction x8(f.m, 0, 8, 0, "x8");
+    PciFunction x16(f.m, 0, 16, 1, "x16");
+    EXPECT_DOUBLE_EQ(x16.toHost().rateGbps(),
+                     2.0 * x8.toHost().rateGbps());
+}
+
+TEST(PciFunction, MmioLatencyHigherWhenRemote)
+{
+    Fixture f;
+    PciFunction pf(f.m, 0, 8, 0, "pf0");
+    EXPECT_EQ(pf.mmioLatency(0), f.cal.pcieLatency);
+    EXPECT_EQ(pf.mmioLatency(1), f.cal.pcieLatency + f.cal.qpiLatency);
+}
+
+TEST(PciFunction, FairClassesAreUnique)
+{
+    Fixture f;
+    PciFunction a(f.m, 0, 8, 0, "a");
+    PciFunction b(f.m, 1, 8, 1, "b");
+    EXPECT_NE(a.fairClass(), b.fairClass());
+}
+
+TEST(PciFunction, RemoteDmaLatencyExceedsLocal)
+{
+    Fixture f;
+    PciFunction pf(f.m, 0, 8, 0, "pf0");
+    Tick local = 0, remote = 0;
+    auto t = spawn([&]() -> Task<> {
+        local = co_await pf.dmaRead(0, 4096, DataLoc::Dram);
+        remote = co_await pf.dmaRead(1, 4096, DataLoc::Dram);
+    });
+    f.sim.run();
+    EXPECT_GT(remote, local);
+    EXPECT_TRUE(t.done());
+}
+
+} // namespace
+} // namespace octo::pcie

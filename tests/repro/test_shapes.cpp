@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Reproduction guards: regression tests that pin the *shapes* the paper
+ * publishes, so model changes that break the reproduction fail CI
+ * rather than silently shifting EXPERIMENTS.md. Bands are deliberately
+ * generous — they encode "the claim still holds", not an exact value.
+ */
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "workloads/netperf.hpp"
+#include "workloads/pktgen.hpp"
+
+namespace octo {
+namespace {
+
+using core::ServerMode;
+using core::Testbed;
+using core::TestbedConfig;
+using sim::fromMs;
+
+struct StreamNumbers
+{
+    double gbps;
+    double membw;
+};
+
+StreamNumbers
+rxRun(ServerMode mode, std::uint64_t msg)
+{
+    TestbedConfig cfg;
+    cfg.mode = mode;
+    Testbed tb(cfg);
+    auto st = tb.serverThread(tb.workNode(), 0);
+    auto ct = tb.clientThread(0);
+    workloads::NetperfStream s(tb, st, ct, msg,
+                               workloads::StreamDir::ServerRx);
+    s.start();
+    tb.runFor(fromMs(5));
+    const auto b0 = s.bytesDelivered();
+    const auto d0 = tb.server().dramBytesTotal();
+    tb.runFor(fromMs(20));
+    const auto window = fromMs(20);
+    return StreamNumbers{sim::toGbps(s.bytesDelivered() - b0, window),
+                         sim::toGbps(tb.server().dramBytesTotal() - d0,
+                                     window)};
+}
+
+TEST(ShapeGuard, Fig6LargeMessageRatio)
+{
+    const auto ioct = rxRun(ServerMode::Ioctopus, 64 << 10);
+    const auto remote = rxRun(ServerMode::Remote, 64 << 10);
+    const double ratio = ioct.gbps / remote.gbps;
+    EXPECT_GE(ratio, 1.15) << "paper: ~1.26 at 64 KB";
+    EXPECT_LE(ratio, 1.40);
+}
+
+TEST(ShapeGuard, Fig6RemoteMemoryBandwidthIsTripleThroughput)
+{
+    const auto remote = rxRun(ServerMode::Remote, 64 << 10);
+    EXPECT_GE(remote.membw / remote.gbps, 2.5);
+    EXPECT_LE(remote.membw / remote.gbps, 3.7);
+}
+
+TEST(ShapeGuard, Fig6LocalHasNoMemoryTraffic)
+{
+    const auto local = rxRun(ServerMode::Local, 64 << 10);
+    EXPECT_LT(local.membw, 0.1 * local.gbps);
+}
+
+TEST(ShapeGuard, Fig6RatioGrowsWithMessageSize)
+{
+    const double small = rxRun(ServerMode::Ioctopus, 256).gbps /
+                         rxRun(ServerMode::Remote, 256).gbps;
+    const double large = rxRun(ServerMode::Ioctopus, 64 << 10).gbps /
+                         rxRun(ServerMode::Remote, 64 << 10).gbps;
+    EXPECT_LT(small, large);
+    EXPECT_LT(small, 1.15) << "paper: ~1.08 for small messages";
+}
+
+TEST(ShapeGuard, Fig7TransmitParity)
+{
+    auto txRun = [](ServerMode mode) {
+        TestbedConfig cfg;
+        cfg.mode = mode;
+        Testbed tb(cfg);
+        auto st = tb.serverThread(tb.workNode(), 0);
+        auto ct = tb.clientThread(0);
+        workloads::NetperfStream s(tb, st, ct, 64 << 10,
+                                   workloads::StreamDir::ServerTx);
+        s.start();
+        tb.runFor(fromMs(5));
+        const auto b0 = s.bytesDelivered();
+        tb.runFor(fromMs(20));
+        return sim::toGbps(s.bytesDelivered() - b0, fromMs(20));
+    };
+    const double local = txRun(ServerMode::Local);
+    const double remote = txRun(ServerMode::Remote);
+    EXPECT_NEAR(remote, local, 0.08 * local) << "paper: comparable";
+    EXPECT_GT(local, 30.0) << "TSO transmit well above receive";
+}
+
+TEST(ShapeGuard, Fig8PktgenBand)
+{
+    auto rate = [](ServerMode mode) {
+        TestbedConfig cfg;
+        cfg.mode = mode;
+        Testbed tb(cfg);
+        auto t = tb.serverThread(tb.workNode(), 0);
+        workloads::Pktgen gen(tb, t, 64);
+        gen.start();
+        tb.runFor(fromMs(15));
+        return gen.packetsSent() / 0.015 / 1e6;
+    };
+    const double local = rate(ServerMode::Local);
+    const double remote = rate(ServerMode::Remote);
+    EXPECT_NEAR(local, 4.1, 0.5);   // paper: 4.1 MPPS
+    EXPECT_NEAR(remote, 3.08, 0.5); // paper: 3.08 MPPS
+    EXPECT_GE(local / remote, 1.2);
+    EXPECT_LE(local / remote, 1.45);
+}
+
+TEST(ShapeGuard, Fig9LatencyOrdering)
+{
+    auto rtt = [](ServerMode mode, bool ddio) {
+        TestbedConfig cfg;
+        cfg.mode = mode;
+        cfg.rxCoalesce = 0;
+        cfg.serverDdio = ddio;
+        cfg.clientDdio = ddio;
+        Testbed tb(cfg);
+        auto st = tb.serverThread(tb.workNode(), 0);
+        auto ct = tb.clientThread(0, mode == ServerMode::Remote ? 1 : 0);
+        workloads::RrWorkload rr(tb, st, ct, 64);
+        rr.start();
+        tb.runFor(fromMs(2));
+        rr.resetStats();
+        tb.runFor(fromMs(15));
+        return rr.latencyUs().mean();
+    };
+    const double ll = rtt(ServerMode::Local, true);
+    const double llnd = rtt(ServerMode::Local, false);
+    const double rr = rtt(ServerMode::Remote, true);
+    EXPECT_LT(ll, llnd);
+    EXPECT_LT(llnd, rr);
+    EXPECT_GE(rr / ll, 1.03);
+    EXPECT_LE(rr / ll, 1.30); // paper band 1.10-1.25 (small msgs low end)
+}
+
+TEST(ShapeGuard, Fig14MigrationKeepsThroughput)
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Ioctopus;
+    Testbed tb(cfg);
+    auto st = tb.serverThread(0, 0);
+    auto ct = tb.clientThread(0);
+    workloads::NetperfStream s(tb, st, ct, 64 << 10,
+                               workloads::StreamDir::ServerRx);
+    s.start();
+    tb.runFor(fromMs(10));
+    const auto before_b = s.bytesDelivered();
+    tb.runFor(fromMs(10));
+    const double before =
+        sim::toGbps(s.bytesDelivered() - before_b, fromMs(10));
+
+    auto mig = sim::spawn([&]() -> sim::Task<> {
+        co_await s.pair().serverCtx.migrate(tb.server().coreOn(1, 0));
+    });
+    tb.runFor(fromMs(5)); // settle
+    const auto after_b = s.bytesDelivered();
+    const auto ooo_after_settle = s.serverSocket().oooEvents;
+    tb.runFor(fromMs(10));
+    const double after =
+        sim::toGbps(s.bytesDelivered() - after_b, fromMs(10));
+
+    EXPECT_TRUE(mig.done());
+    EXPECT_NEAR(after, before, 0.05 * before)
+        << "octoNIC migration must not cost throughput";
+    EXPECT_EQ(s.serverSocket().oooEvents, ooo_after_settle)
+        << "no reordering in steady state after migration";
+}
+
+} // namespace
+} // namespace octo

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit and property tests for the fair-share bandwidth server.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fair_pipe.hpp"
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace octo::sim {
+namespace {
+
+TEST(FairPipe, SingleTransferTakesServiceTime)
+{
+    Simulator sim;
+    FairPipe pipe(sim, 8.0); // 1 B/ns
+    Tick done = -1;
+    auto t = spawn([&]() -> Task<> {
+        co_await pipe.transfer(1, 8192);
+        done = sim.now();
+    });
+    sim.run();
+    EXPECT_EQ(done, fromNs(8192));
+    EXPECT_EQ(pipe.totalBytes(), 8192u);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(FairPipe, ZeroByteTransferIsImmediate)
+{
+    Simulator sim;
+    FairPipe pipe(sim, 8.0);
+    bool ran = false;
+    auto t = spawn([&]() -> Task<> {
+        co_await pipe.transfer(1, 0);
+        ran = true;
+    });
+    EXPECT_TRUE(ran);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(FairPipe, EqualSharesForTwoClasses)
+{
+    Simulator sim;
+    FairPipe pipe(sim, 8.0);
+    // Two classes each request 64 KB simultaneously: with round-robin
+    // quanta they finish within one quantum of each other.
+    std::vector<Tick> done(2, 0);
+    auto mk = [&](int cls) -> Task<> {
+        co_await pipe.transfer(cls, 64 << 10);
+        done[cls] = sim.now();
+    };
+    auto a = mk(0);
+    auto b = mk(1);
+    sim.run();
+    const Tick quantum_time = transferTime(FairPipe::kQuantum, 8.0);
+    EXPECT_LE(std::abs(done[0] - done[1]), quantum_time);
+    // Total service conserved: 128 KB at 1 B/ns.
+    EXPECT_GE(std::max(done[0], done[1]), fromNs(128 << 10));
+    EXPECT_TRUE(a.done() && b.done());
+}
+
+TEST(FairPipe, DeepQueueCannotStarveSmallRequester)
+{
+    Simulator sim;
+    FairPipe pipe(sim, 8.0);
+    // Class 0 floods 1 MB; class 1 asks for one quantum shortly after.
+    Tick small_done = -1;
+    auto big = spawn([&]() -> Task<> {
+        co_await pipe.transfer(0, 1 << 20);
+    });
+    auto small = spawn([&]() -> Task<> {
+        co_await delay(sim, fromNs(10));
+        co_await pipe.transfer(1, 4096);
+        small_done = sim.now();
+    });
+    sim.run();
+    // Fair arbitration: the small request completes after at most a few
+    // quanta, not after the megabyte.
+    EXPECT_LT(small_done, fromNs(5 * 4096));
+    EXPECT_TRUE(big.done() && small.done());
+}
+
+TEST(FairPipe, ManyClassesShareProportionally)
+{
+    Simulator sim;
+    FairPipe pipe(sim, 80.0); // 10 B/ns
+    constexpr int kClasses = 8;
+    std::vector<std::uint64_t> bytes_done(kClasses, 0);
+    std::vector<Task<>> loops;
+    auto loop = [&](int cls) -> Task<> {
+        for (;;) {
+            co_await pipe.transfer(cls, 4096);
+            bytes_done[cls] += 4096;
+        }
+    };
+    for (int c = 0; c < kClasses; ++c)
+        loops.push_back(loop(c));
+    sim.runUntil(fromUs(100));
+    // Every class should be within 5% of the mean share.
+    std::uint64_t total = 0;
+    for (auto b : bytes_done)
+        total += b;
+    const double mean = static_cast<double>(total) / kClasses;
+    for (int c = 0; c < kClasses; ++c) {
+        EXPECT_NEAR(bytes_done[c], mean, mean * 0.05)
+            << "class " << c;
+    }
+    // Link fully utilized: 10 B/ns x 100 us = 1 MB.
+    EXPECT_NEAR(total, 1'000'000, 20'000);
+}
+
+TEST(FairPipe, BacklogReportsQueuedService)
+{
+    Simulator sim;
+    FairPipe pipe(sim, 8.0);
+    auto t = spawn([&]() -> Task<> {
+        co_await pipe.transfer(0, 100'000);
+    });
+    // Immediately after enqueue the backlog covers the whole request.
+    EXPECT_GT(pipe.backlog(), 0);
+    sim.run();
+    EXPECT_EQ(pipe.backlog(), 0);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(FairPipe, IdleThenBusyAgain)
+{
+    Simulator sim;
+    FairPipe pipe(sim, 8.0);
+    Tick first = -1, second = -1;
+    auto t = spawn([&]() -> Task<> {
+        co_await pipe.transfer(0, 4096);
+        first = sim.now();
+        co_await delay(sim, fromUs(5));
+        co_await pipe.transfer(0, 4096);
+        second = sim.now();
+    });
+    sim.run();
+    EXPECT_EQ(first, fromNs(4096));
+    EXPECT_EQ(second, first + fromUs(5) + fromNs(4096));
+    EXPECT_EQ(pipe.totalBytes(), 8192u);
+    EXPECT_TRUE(t.done());
+}
+
+} // namespace
+} // namespace octo::sim

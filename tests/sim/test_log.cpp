@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Tests for the leveled logging facility.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/log.hpp"
+
+namespace octo::sim {
+namespace {
+
+TEST(Log, DefaultsToSilent)
+{
+    EXPECT_EQ(logLevel(), LogLevel::None);
+}
+
+TEST(Log, LevelRoundTrips)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(before);
+}
+
+TEST(Log, SuppressedMessagesDoNotCrash)
+{
+    const LogLevel before = logLevel();
+    setLogLevel(LogLevel::None);
+    logAt(LogLevel::Debug, fromUs(1), "suppressed");
+    logAt(LogLevel::Warn, fromUs(2), "also suppressed");
+    setLogLevel(LogLevel::Debug);
+    logAt(LogLevel::Info, fromMs(1), "emitted to stderr");
+    setLogLevel(before);
+}
+
+} // namespace
+} // namespace octo::sim

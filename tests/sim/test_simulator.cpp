@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the discrete-event core: event ordering, clock
+ * semantics, and run bounds.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace octo::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero)
+{
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0);
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunsEventsInTimeOrder)
+{
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule(30, [&] { order.push_back(3); });
+    sim.schedule(10, [&] { order.push_back(1); });
+    sim.schedule(20, [&] { order.push_back(2); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTickEventsFireFifo)
+{
+    Simulator sim;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        sim.schedule(100, [&order, i] { order.push_back(i); });
+    sim.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative)
+{
+    Simulator sim;
+    Tick seen = -1;
+    sim.schedule(50, [&] {
+        sim.scheduleIn(25, [&] { seen = sim.now(); });
+    });
+    sim.run();
+    EXPECT_EQ(seen, 75);
+}
+
+TEST(Simulator, RunUntilStopsClockAtBound)
+{
+    Simulator sim;
+    int fired = 0;
+    sim.schedule(10, [&] { ++fired; });
+    sim.schedule(1000, [&] { ++fired; });
+    sim.runUntil(100);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(sim.now(), 100);
+    sim.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, NestedScheduling)
+{
+    Simulator sim;
+    int depth = 0;
+    std::function<void()> recurse = [&] {
+        if (++depth < 100)
+            sim.scheduleIn(1, recurse);
+    };
+    sim.schedule(0, recurse);
+    sim.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow)
+{
+    Simulator sim;
+    sim.schedule(10, [&] {
+        sim.scheduleIn(-5, [&] { EXPECT_EQ(sim.now(), 10); });
+    });
+    sim.run();
+}
+
+TEST(Simulator, CountsProcessedEvents)
+{
+    Simulator sim;
+    for (int i = 0; i < 17; ++i)
+        sim.schedule(i, [] {});
+    sim.run();
+    EXPECT_EQ(sim.eventsProcessed(), 17u);
+}
+
+TEST(TimeConversions, RoundTrip)
+{
+    EXPECT_EQ(fromNs(1.0), kTickPerNs);
+    EXPECT_EQ(fromUs(1.0), kTickPerUs);
+    EXPECT_EQ(fromMs(1.0), kTickPerMs);
+    EXPECT_EQ(fromSec(1.0), kTickPerSec);
+    EXPECT_DOUBLE_EQ(toNs(fromNs(123.0)), 123.0);
+    EXPECT_DOUBLE_EQ(toSec(fromSec(0.25)), 0.25);
+}
+
+TEST(TimeConversions, TransferTimeMatchesRate)
+{
+    // 1250 bytes at 100 Gb/s = 100 ns.
+    EXPECT_EQ(transferTime(1250, 100.0), fromNs(100.0));
+    // 64 bytes at 8 Gb/s = 64 ns.
+    EXPECT_EQ(transferTime(64, 8.0), fromNs(64.0));
+}
+
+} // namespace
+} // namespace octo::sim

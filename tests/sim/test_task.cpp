@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Unit tests for the coroutine task machinery: eager start, delays,
+ * joins, values, and detach semantics.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/task.hpp"
+
+namespace octo::sim {
+namespace {
+
+Task<>
+waitThenSet(Simulator& sim, Tick d, int& out, int val)
+{
+    co_await delay(sim, d);
+    out = val;
+}
+
+TEST(Task, RunsEagerlyUntilFirstSuspend)
+{
+    Simulator sim;
+    int stage = 0;
+    auto t = spawn([&]() -> Task<> {
+        stage = 1;
+        co_await delay(sim, 10);
+        stage = 2;
+    });
+    EXPECT_EQ(stage, 1); // body ran to the first co_await
+    EXPECT_FALSE(t.done());
+    sim.run();
+    EXPECT_EQ(stage, 2);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, DelayAdvancesClock)
+{
+    Simulator sim;
+    int out = 0;
+    auto t = waitThenSet(sim, fromNs(250), out, 42);
+    sim.run();
+    EXPECT_EQ(out, 42);
+    EXPECT_EQ(sim.now(), fromNs(250));
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, AwaitJoinsChildTask)
+{
+    Simulator sim;
+    std::vector<int> order;
+    auto t = spawn([&]() -> Task<> {
+        order.push_back(1);
+        auto child = spawn([&]() -> Task<> {
+            co_await delay(sim, 100);
+            order.push_back(2);
+        });
+        co_await child;
+        order.push_back(3);
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, AwaitCompletedTaskIsImmediate)
+{
+    Simulator sim;
+    auto t = spawn([&]() -> Task<> {
+        auto child = []() -> Task<> { co_return; }();
+        EXPECT_TRUE(child.done());
+        co_await child; // must not hang
+    });
+    sim.run();
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, ValueTaskReturnsResult)
+{
+    Simulator sim;
+    int got = 0;
+    auto make_child = [&]() -> Task<int> {
+        co_await delay(sim, 5);
+        co_return 1234;
+    };
+    auto t = spawn([&]() -> Task<> {
+        auto child = make_child();
+        got = co_await child;
+    });
+    sim.run();
+    EXPECT_EQ(got, 1234);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, AwaitTemporaryValueTask)
+{
+    Simulator sim;
+    Tick got = 0;
+    auto make = [&](Tick d) -> Task<Tick> {
+        co_await delay(sim, d);
+        co_return d * 2;
+    };
+    auto t = spawn([&]() -> Task<> {
+        got = co_await make(50);
+    });
+    sim.run();
+    EXPECT_EQ(got, 100);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, DetachedTaskKeepsRunning)
+{
+    Simulator sim;
+    int out = 0;
+    waitThenSet(sim, 10, out, 7).detach();
+    sim.run();
+    EXPECT_EQ(out, 7);
+}
+
+TEST(Task, ManySequentialDelays)
+{
+    Simulator sim;
+    int count = 0;
+    auto t = spawn([&]() -> Task<> {
+        for (int i = 0; i < 1000; ++i) {
+            co_await delay(sim, 1);
+            ++count;
+        }
+    });
+    sim.run();
+    EXPECT_EQ(count, 1000);
+    EXPECT_EQ(sim.now(), 1000);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, ParallelTasksInterleaveDeterministically)
+{
+    Simulator sim;
+    std::vector<int> order;
+    auto a = spawn([&]() -> Task<> {
+        co_await delay(sim, 10);
+        order.push_back(1);
+        co_await delay(sim, 20); // fires at 30
+        order.push_back(3);
+    });
+    auto b = spawn([&]() -> Task<> {
+        co_await delay(sim, 20);
+        order.push_back(2);
+        co_await delay(sim, 20); // fires at 40
+        order.push_back(4);
+    });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+    EXPECT_TRUE(a.done());
+    EXPECT_TRUE(b.done());
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    Simulator sim;
+    auto t = spawn([&]() -> Task<> { co_await delay(sim, 10); });
+    Task<> u = std::move(t);
+    EXPECT_FALSE(u.done());
+    sim.run();
+    EXPECT_TRUE(u.done());
+}
+
+} // namespace
+} // namespace octo::sim

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the time-series telemetry sampler.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+
+namespace octo::sim {
+namespace {
+
+TEST(TimeSeries, SamplesPerWindowDeltas)
+{
+    Simulator sim;
+    std::uint64_t counter = 0;
+    // Generator adds 1000 bytes every 100 us, offset half a period so
+    // increments never land on a sampling edge.
+    auto gen = spawn([&]() -> Task<> {
+        co_await delay(sim, fromUs(50));
+        for (;;) {
+            counter += 1000;
+            co_await delay(sim, fromUs(100));
+        }
+    });
+
+    TimeSeries ts(sim, fromMs(1));
+    ts.addProbe("bytes", [&] { return counter; });
+    ts.start();
+    sim.runUntil(fromMs(10));
+
+    ASSERT_EQ(ts.sampleCount(), 10u);
+    for (std::size_t i = 0; i < ts.sampleCount(); ++i)
+        EXPECT_EQ(ts.at(0, i), 10'000u) << "sample " << i;
+}
+
+TEST(TimeSeries, RateConversion)
+{
+    Simulator sim;
+    std::uint64_t counter = 0;
+    TimeSeries ts(sim, fromMs(1));
+    ts.addProbe("x", [&] { return counter; });
+    ts.start();
+    sim.schedule(fromUs(500), [&] { counter = 1'250'000; });
+    sim.runUntil(fromMs(1));
+    ASSERT_EQ(ts.sampleCount(), 1u);
+    // 1.25 MB in 1 ms = 10 Gb/s.
+    EXPECT_DOUBLE_EQ(ts.gbpsAt(0, 0), 10.0);
+}
+
+TEST(TimeSeries, MultipleProbesIndependent)
+{
+    Simulator sim;
+    std::uint64_t a = 0, b = 0;
+    TimeSeries ts(sim, fromMs(1));
+    ts.addProbe("a", [&] { return a; });
+    ts.addProbe("b", [&] { return b; });
+    ts.start();
+    sim.schedule(fromUs(100), [&] { a = 7; });
+    sim.schedule(fromUs(200), [&] { b = 11; });
+    sim.runUntil(fromMs(2));
+    EXPECT_EQ(ts.at(0, 0), 7u);
+    EXPECT_EQ(ts.at(1, 0), 11u);
+    EXPECT_EQ(ts.at(0, 1), 0u); // no further growth
+    EXPECT_EQ(ts.at(1, 1), 0u);
+}
+
+TEST(TimeSeries, StartSnapshotExcludesHistory)
+{
+    Simulator sim;
+    std::uint64_t counter = 123456; // pre-existing traffic
+    TimeSeries ts(sim, fromMs(1));
+    ts.addProbe("x", [&] { return counter; });
+    ts.start();
+    sim.runUntil(fromMs(1));
+    EXPECT_EQ(ts.at(0, 0), 0u); // only growth after start() counts
+}
+
+TEST(TimeSeries, TimeAxis)
+{
+    Simulator sim;
+    sim.runUntil(fromMs(5)); // start late
+    std::uint64_t c = 0;
+    TimeSeries ts(sim, fromMs(2));
+    ts.addProbe("x", [&] { return c; });
+    ts.start();
+    sim.runUntil(fromMs(11));
+    ASSERT_EQ(ts.sampleCount(), 3u);
+    EXPECT_EQ(ts.timeAt(0), fromMs(7));
+    EXPECT_EQ(ts.timeAt(2), fromMs(11));
+}
+
+} // namespace
+} // namespace octo::sim
