@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_ioctosg.dir/abl_ioctosg.cpp.o"
+  "CMakeFiles/bench_abl_ioctosg.dir/abl_ioctosg.cpp.o.d"
+  "bench_abl_ioctosg"
+  "bench_abl_ioctosg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_ioctosg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig02_trends.cpp" "bench/CMakeFiles/bench_fig02_trends.dir/fig02_trends.cpp.o" "gcc" "bench/CMakeFiles/bench_fig02_trends.dir/fig02_trends.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/octo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/octo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/octo_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/octo_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/octo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/octo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

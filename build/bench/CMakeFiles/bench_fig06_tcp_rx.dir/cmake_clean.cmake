@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_tcp_rx.dir/fig06_tcp_rx.cpp.o"
+  "CMakeFiles/bench_fig06_tcp_rx.dir/fig06_tcp_rx.cpp.o.d"
+  "bench_fig06_tcp_rx"
+  "bench_fig06_tcp_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_tcp_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_tcp_tx.dir/fig07_tcp_tx.cpp.o"
+  "CMakeFiles/bench_fig07_tcp_tx.dir/fig07_tcp_tx.cpp.o.d"
+  "bench_fig07_tcp_tx"
+  "bench_fig07_tcp_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_tcp_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

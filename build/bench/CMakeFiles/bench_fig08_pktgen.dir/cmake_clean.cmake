@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_pktgen.dir/fig08_pktgen.cpp.o"
+  "CMakeFiles/bench_fig08_pktgen.dir/fig08_pktgen.cpp.o.d"
+  "bench_fig08_pktgen"
+  "bench_fig08_pktgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pktgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_tcp_rr.dir/fig09_tcp_rr.cpp.o"
+  "CMakeFiles/bench_fig09_tcp_rr.dir/fig09_tcp_rr.cpp.o.d"
+  "bench_fig09_tcp_rr"
+  "bench_fig09_tcp_rr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_tcp_rr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

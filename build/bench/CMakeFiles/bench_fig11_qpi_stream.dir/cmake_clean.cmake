@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_qpi_stream.dir/fig11_qpi_stream.cpp.o"
+  "CMakeFiles/bench_fig11_qpi_stream.dir/fig11_qpi_stream.cpp.o.d"
+  "bench_fig11_qpi_stream"
+  "bench_fig11_qpi_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_qpi_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

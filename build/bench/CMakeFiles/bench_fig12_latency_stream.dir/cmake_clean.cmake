@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_latency_stream.dir/fig12_latency_stream.cpp.o"
+  "CMakeFiles/bench_fig12_latency_stream.dir/fig12_latency_stream.cpp.o.d"
+  "bench_fig12_latency_stream"
+  "bench_fig12_latency_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_latency_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

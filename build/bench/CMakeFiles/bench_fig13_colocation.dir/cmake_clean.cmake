@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_colocation.dir/fig13_colocation.cpp.o"
+  "CMakeFiles/bench_fig13_colocation.dir/fig13_colocation.cpp.o.d"
+  "bench_fig13_colocation"
+  "bench_fig13_colocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_colocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

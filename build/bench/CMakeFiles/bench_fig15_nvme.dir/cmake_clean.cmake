@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_nvme.dir/fig15_nvme.cpp.o"
+  "CMakeFiles/bench_fig15_nvme.dir/fig15_nvme.cpp.o.d"
+  "bench_fig15_nvme"
+  "bench_fig15_nvme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s24_ring_placement.dir/s24_ring_placement.cpp.o"
+  "CMakeFiles/bench_s24_ring_placement.dir/s24_ring_placement.cpp.o.d"
+  "bench_s24_ring_placement"
+  "bench_s24_ring_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s24_ring_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

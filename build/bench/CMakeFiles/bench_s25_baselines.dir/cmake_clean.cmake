@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s25_baselines.dir/s25_baselines.cpp.o"
+  "CMakeFiles/bench_s25_baselines.dir/s25_baselines.cpp.o.d"
+  "bench_s25_baselines"
+  "bench_s25_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s25_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

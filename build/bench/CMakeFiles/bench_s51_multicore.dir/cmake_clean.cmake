@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_s51_multicore.dir/s51_multicore.cpp.o"
+  "CMakeFiles/bench_s51_multicore.dir/s51_multicore.cpp.o.d"
+  "bench_s51_multicore"
+  "bench_s51_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_s51_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_kv_service.dir/kv_service.cpp.o"
+  "CMakeFiles/octo_kv_service.dir/kv_service.cpp.o.d"
+  "octo_kv_service"
+  "octo_kv_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_kv_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_migration.dir/migration.cpp.o"
+  "CMakeFiles/octo_migration.dir/migration.cpp.o.d"
+  "octo_migration"
+  "octo_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

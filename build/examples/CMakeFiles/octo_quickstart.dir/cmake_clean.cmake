@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_quickstart.dir/quickstart.cpp.o"
+  "CMakeFiles/octo_quickstart.dir/quickstart.cpp.o.d"
+  "octo_quickstart"
+  "octo_quickstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_quickstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_storage.dir/storage.cpp.o"
+  "CMakeFiles/octo_storage.dir/storage.cpp.o.d"
+  "octo_storage"
+  "octo_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sim")
+subdirs("mem")
+subdirs("topo")
+subdirs("pcie")
+subdirs("nic")
+subdirs("nvme")
+subdirs("os")
+subdirs("core")
+subdirs("workloads")

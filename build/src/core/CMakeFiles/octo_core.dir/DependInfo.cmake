@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/testbed.cpp" "src/core/CMakeFiles/octo_core.dir/testbed.cpp.o" "gcc" "src/core/CMakeFiles/octo_core.dir/testbed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/octo_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/octo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/octo_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/octo_os.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_nic.dir/device.cpp.o"
+  "CMakeFiles/octo_nic.dir/device.cpp.o.d"
+  "libocto_nic.a"
+  "libocto_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_os.dir/netstack.cpp.o"
+  "CMakeFiles/octo_os.dir/netstack.cpp.o.d"
+  "libocto_os.a"
+  "libocto_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

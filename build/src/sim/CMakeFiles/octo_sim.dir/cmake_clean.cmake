@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_sim.dir/log.cpp.o"
+  "CMakeFiles/octo_sim.dir/log.cpp.o.d"
+  "CMakeFiles/octo_sim.dir/simulator.cpp.o"
+  "CMakeFiles/octo_sim.dir/simulator.cpp.o.d"
+  "libocto_sim.a"
+  "libocto_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

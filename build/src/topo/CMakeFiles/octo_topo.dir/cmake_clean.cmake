@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_topo.dir/machine.cpp.o"
+  "CMakeFiles/octo_topo.dir/machine.cpp.o.d"
+  "libocto_topo.a"
+  "libocto_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

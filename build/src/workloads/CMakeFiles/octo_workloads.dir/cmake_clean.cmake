@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_workloads.dir/kvstore.cpp.o"
+  "CMakeFiles/octo_workloads.dir/kvstore.cpp.o.d"
+  "CMakeFiles/octo_workloads.dir/netperf.cpp.o"
+  "CMakeFiles/octo_workloads.dir/netperf.cpp.o.d"
+  "libocto_workloads.a"
+  "libocto_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_test_core.dir/core/test_testbed.cpp.o"
+  "CMakeFiles/octo_test_core.dir/core/test_testbed.cpp.o.d"
+  "octo_test_core"
+  "octo_test_core.pdb"
+  "octo_test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_test_mem.dir/mem/test_cache.cpp.o"
+  "CMakeFiles/octo_test_mem.dir/mem/test_cache.cpp.o.d"
+  "octo_test_mem"
+  "octo_test_mem.pdb"
+  "octo_test_mem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_test_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nic/test_device.cpp" "tests/CMakeFiles/octo_test_nic.dir/nic/test_device.cpp.o" "gcc" "tests/CMakeFiles/octo_test_nic.dir/nic/test_device.cpp.o.d"
+  "/root/repo/tests/nic/test_ioctosg.cpp" "tests/CMakeFiles/octo_test_nic.dir/nic/test_ioctosg.cpp.o" "gcc" "tests/CMakeFiles/octo_test_nic.dir/nic/test_ioctosg.cpp.o.d"
+  "/root/repo/tests/nic/test_multisocket.cpp" "tests/CMakeFiles/octo_test_nic.dir/nic/test_multisocket.cpp.o" "gcc" "tests/CMakeFiles/octo_test_nic.dir/nic/test_multisocket.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/octo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/octo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/octo_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/octo_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/octo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/octo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

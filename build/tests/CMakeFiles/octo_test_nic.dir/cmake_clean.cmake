@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_test_nic.dir/nic/test_device.cpp.o"
+  "CMakeFiles/octo_test_nic.dir/nic/test_device.cpp.o.d"
+  "CMakeFiles/octo_test_nic.dir/nic/test_ioctosg.cpp.o"
+  "CMakeFiles/octo_test_nic.dir/nic/test_ioctosg.cpp.o.d"
+  "CMakeFiles/octo_test_nic.dir/nic/test_multisocket.cpp.o"
+  "CMakeFiles/octo_test_nic.dir/nic/test_multisocket.cpp.o.d"
+  "octo_test_nic"
+  "octo_test_nic.pdb"
+  "octo_test_nic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_test_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_test_os.dir/os/test_netstack.cpp.o"
+  "CMakeFiles/octo_test_os.dir/os/test_netstack.cpp.o.d"
+  "CMakeFiles/octo_test_os.dir/os/test_properties.cpp.o"
+  "CMakeFiles/octo_test_os.dir/os/test_properties.cpp.o.d"
+  "CMakeFiles/octo_test_os.dir/os/test_scheduler.cpp.o"
+  "CMakeFiles/octo_test_os.dir/os/test_scheduler.cpp.o.d"
+  "octo_test_os"
+  "octo_test_os.pdb"
+  "octo_test_os[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_test_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_test_pcie.dir/pcie/test_function.cpp.o"
+  "CMakeFiles/octo_test_pcie.dir/pcie/test_function.cpp.o.d"
+  "octo_test_pcie"
+  "octo_test_pcie.pdb"
+  "octo_test_pcie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_test_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_test_repro.dir/repro/test_shapes.cpp.o"
+  "CMakeFiles/octo_test_repro.dir/repro/test_shapes.cpp.o.d"
+  "octo_test_repro"
+  "octo_test_repro.pdb"
+  "octo_test_repro[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_test_repro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

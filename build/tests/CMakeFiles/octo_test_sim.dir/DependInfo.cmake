@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/test_fair_pipe.cpp" "tests/CMakeFiles/octo_test_sim.dir/sim/test_fair_pipe.cpp.o" "gcc" "tests/CMakeFiles/octo_test_sim.dir/sim/test_fair_pipe.cpp.o.d"
+  "/root/repo/tests/sim/test_log.cpp" "tests/CMakeFiles/octo_test_sim.dir/sim/test_log.cpp.o" "gcc" "tests/CMakeFiles/octo_test_sim.dir/sim/test_log.cpp.o.d"
+  "/root/repo/tests/sim/test_pipe.cpp" "tests/CMakeFiles/octo_test_sim.dir/sim/test_pipe.cpp.o" "gcc" "tests/CMakeFiles/octo_test_sim.dir/sim/test_pipe.cpp.o.d"
+  "/root/repo/tests/sim/test_simulator.cpp" "tests/CMakeFiles/octo_test_sim.dir/sim/test_simulator.cpp.o" "gcc" "tests/CMakeFiles/octo_test_sim.dir/sim/test_simulator.cpp.o.d"
+  "/root/repo/tests/sim/test_stats.cpp" "tests/CMakeFiles/octo_test_sim.dir/sim/test_stats.cpp.o" "gcc" "tests/CMakeFiles/octo_test_sim.dir/sim/test_stats.cpp.o.d"
+  "/root/repo/tests/sim/test_stress.cpp" "tests/CMakeFiles/octo_test_sim.dir/sim/test_stress.cpp.o" "gcc" "tests/CMakeFiles/octo_test_sim.dir/sim/test_stress.cpp.o.d"
+  "/root/repo/tests/sim/test_sync.cpp" "tests/CMakeFiles/octo_test_sim.dir/sim/test_sync.cpp.o" "gcc" "tests/CMakeFiles/octo_test_sim.dir/sim/test_sync.cpp.o.d"
+  "/root/repo/tests/sim/test_task.cpp" "tests/CMakeFiles/octo_test_sim.dir/sim/test_task.cpp.o" "gcc" "tests/CMakeFiles/octo_test_sim.dir/sim/test_task.cpp.o.d"
+  "/root/repo/tests/sim/test_trace.cpp" "tests/CMakeFiles/octo_test_sim.dir/sim/test_trace.cpp.o" "gcc" "tests/CMakeFiles/octo_test_sim.dir/sim/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/octo_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/octo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/octo_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/octo_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/octo_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/octo_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_test_sim.dir/sim/test_fair_pipe.cpp.o"
+  "CMakeFiles/octo_test_sim.dir/sim/test_fair_pipe.cpp.o.d"
+  "CMakeFiles/octo_test_sim.dir/sim/test_log.cpp.o"
+  "CMakeFiles/octo_test_sim.dir/sim/test_log.cpp.o.d"
+  "CMakeFiles/octo_test_sim.dir/sim/test_pipe.cpp.o"
+  "CMakeFiles/octo_test_sim.dir/sim/test_pipe.cpp.o.d"
+  "CMakeFiles/octo_test_sim.dir/sim/test_simulator.cpp.o"
+  "CMakeFiles/octo_test_sim.dir/sim/test_simulator.cpp.o.d"
+  "CMakeFiles/octo_test_sim.dir/sim/test_stats.cpp.o"
+  "CMakeFiles/octo_test_sim.dir/sim/test_stats.cpp.o.d"
+  "CMakeFiles/octo_test_sim.dir/sim/test_stress.cpp.o"
+  "CMakeFiles/octo_test_sim.dir/sim/test_stress.cpp.o.d"
+  "CMakeFiles/octo_test_sim.dir/sim/test_sync.cpp.o"
+  "CMakeFiles/octo_test_sim.dir/sim/test_sync.cpp.o.d"
+  "CMakeFiles/octo_test_sim.dir/sim/test_task.cpp.o"
+  "CMakeFiles/octo_test_sim.dir/sim/test_task.cpp.o.d"
+  "CMakeFiles/octo_test_sim.dir/sim/test_trace.cpp.o"
+  "CMakeFiles/octo_test_sim.dir/sim/test_trace.cpp.o.d"
+  "octo_test_sim"
+  "octo_test_sim.pdb"
+  "octo_test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_test_topo.dir/topo/test_machine.cpp.o"
+  "CMakeFiles/octo_test_topo.dir/topo/test_machine.cpp.o.d"
+  "octo_test_topo"
+  "octo_test_topo.pdb"
+  "octo_test_topo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_test_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/octo_test_workloads.dir/workloads/test_workloads.cpp.o"
+  "CMakeFiles/octo_test_workloads.dir/workloads/test_workloads.cpp.o.d"
+  "octo_test_workloads"
+  "octo_test_workloads.pdb"
+  "octo_test_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/octo_test_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

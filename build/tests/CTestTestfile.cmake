@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/octo_test_sim[1]_include.cmake")
+include("/root/repo/build/tests/octo_test_mem[1]_include.cmake")
+include("/root/repo/build/tests/octo_test_topo[1]_include.cmake")
+include("/root/repo/build/tests/octo_test_pcie[1]_include.cmake")
+include("/root/repo/build/tests/octo_test_nic[1]_include.cmake")
+include("/root/repo/build/tests/octo_test_os[1]_include.cmake")
+include("/root/repo/build/tests/octo_test_core[1]_include.cmake")
+include("/root/repo/build/tests/octo_test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/octo_test_repro[1]_include.cmake")
