@@ -1,0 +1,92 @@
+/**
+ * @file
+ * PF failover timeline: a TCP Rx netperf stream served through the
+ * octoNIC's node-1 endpoint while a FaultPlan surprise-removes that PF
+ * mid-run and re-probes it later. Per-PF throughput is sampled
+ * throughout, mirroring the Fig. 14 migration-timeline shape — except
+ * here the *device*, not the thread, forces the traffic to switch PFs.
+ *
+ * Expected shape: traffic runs on PF1 (the ring's home endpoint) until
+ * the kill, collapses for roughly the failover-detection delay plus the
+ * retry timeout, then resumes through PF0 at a NUDMA-degraded-but-close
+ * rate; on recovery the team driver rebalances the rings home and PF1
+ * carries the stream again at the pre-fault rate.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common.hpp"
+#include "sim/trace.hpp"
+
+using namespace octo;
+using namespace octo::bench;
+
+namespace {
+
+void
+runFailoverTimeline()
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Ioctopus;
+    cfg.faults.pfKill(sim::fromMs(300), 1).pfRecover(sim::fromMs(600), 1);
+    Testbed tb(cfg);
+
+    // The workload runs on node 1, so steering parks its ring behind
+    // PF1 — the endpoint the plan kills.
+    auto server_t = tb.serverThread(1, 0);
+    auto client_t = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, server_t, client_t, 64u << 10,
+                                    workloads::StreamDir::ServerRx);
+    stream.start();
+
+    sim::TimeSeries series(tb.sim(), sim::fromMs(10));
+    series.addProbe("pf0", [&] { return tb.serverNic().pfRxBytes(0); });
+    series.addProbe("pf1", [&] { return tb.serverNic().pfRxBytes(1); });
+    series.addProbe("app", [&] { return stream.bytesDelivered(); });
+    series.start();
+
+    tb.runFor(sim::fromMs(1000));
+
+    std::printf("\n# octoNIC: PF1 surprise-removed at 0.30 s, "
+                "re-probed at 0.60 s; 10 ms samples\n");
+    std::printf("%-8s", "t[s]");
+    for (std::size_t p = 0; p < series.probeCount(); ++p)
+        std::printf(" %8s", series.probeName(p).c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < series.sampleCount(); ++i) {
+        const double t_ms = sim::toMs(series.timeAt(i));
+        const bool near_fault =
+            (t_ms >= 280 && t_ms <= 360) || (t_ms >= 580 && t_ms <= 660);
+        if (static_cast<int>(t_ms) % 50 != 0 && !near_fault)
+            continue;
+        std::printf("%-8.2f", t_ms / 1000.0);
+        for (std::size_t p = 0; p < series.probeCount(); ++p)
+            std::printf(" %8.2f", series.gbpsAt(p, i));
+        std::printf("\n");
+    }
+
+    const auto& nic = tb.serverNic();
+    const auto& stack = tb.serverStack();
+    std::printf("# failovers=%llu rebalances=%llu dead-pf drops=%llu "
+                "lost=%llu B reclaimed=%llu B\n",
+                static_cast<unsigned long long>(stack.pfFailovers()),
+                static_cast<unsigned long long>(stack.pfRebalances()),
+                static_cast<unsigned long long>(nic.deadPfDrops()),
+                static_cast<unsigned long long>(stack.lostBytes()),
+                static_cast<unsigned long long>(
+                    tb.clientStack().reclaimedBytes()));
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    printHeader("PF failover — fault injection on the octoNIC team",
+                "(time series below)");
+    runFailoverTimeline();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -24,6 +24,12 @@ modeName(ServerMode m)
 
 Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
 {
+    // A fault plan implies frames can die inside the NIC, so the
+    // RTO-style retry worker must run on both hosts or lost frames
+    // would leak window credits forever.
+    if (!cfg_.faults.empty() && cfg_.stack.retryTimeout == 0)
+        cfg_.stack.retryTimeout = sim::fromMs(2);
+
     topo::Calibration server_cal = cfg_.cal;
     server_cal.ddioEnabled = cfg_.serverDdio;
     topo::Calibration client_cal = cfg_.cal;
@@ -42,6 +48,15 @@ Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
     clientNic_->connect(*wire_);
     serverNic_->start();
     clientNic_->start();
+
+    if (!cfg_.faults.empty()) {
+        injector_ = std::make_unique<fault::Injector>(
+            sim_,
+            fault::Targets{serverNic_.get(), serverStacks_.at(0).get(),
+                           server_.get()},
+            cfg_.faults);
+        injector_->start();
+    }
 }
 
 Testbed::~Testbed() = default;
@@ -85,8 +100,12 @@ Testbed::buildServerSide()
         // The octoNIC: one logical netdev spanning both PFs. Each ring
         // is bound to the PF local to its core's node, so IOctoRFS
         // steering to a ring implies DMA through the local endpoint.
+        // The team driver treats the PFs like bonding members, so it
+        // also gets bonding-style failover between them.
+        os::StackConfig scfg = cfg_.stack;
+        scfg.teamFailover = true;
         auto stack = std::make_unique<os::NetStack>(*server_, *serverNic_,
-                                                    cfg_.stack);
+                                                    scfg);
         std::vector<int> qids;
         for (int c = 0; c < total; ++c) {
             topo::Core& core = server_->core(c);

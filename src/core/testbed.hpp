@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
 #include "nic/device.hpp"
 #include "nic/wire.hpp"
 #include "os/netstack.hpp"
@@ -68,6 +70,12 @@ struct TestbedConfig
      *  without loss (the back-to-back testbed never drops). */
     int rxRingEntries = 4096;
     os::StackConfig stack;
+
+    /** Fault schedule replayed against the *server* side (NIC, stack 0,
+     *  machine). A non-empty plan also turns on loss recovery: the
+     *  retry worker is enabled on both hosts' stacks, and Ioctopus mode
+     *  additionally arms team-driver PF failover. */
+    fault::FaultPlan faults;
 };
 
 /** A connected TCP/UDP endpoint pair plus thread contexts. */
@@ -113,6 +121,9 @@ class Testbed
         return static_cast<int>(serverStacks_.size());
     }
     os::NetStack& clientStack() { return *clientStack_; }
+
+    /** The fault injector; null when the config's plan is empty. */
+    fault::Injector* injector() { return injector_.get(); }
 
     /**
      * The node the server workload should run on for this preset:
@@ -163,6 +174,7 @@ class Testbed
     std::unique_ptr<nic::Wire> wire_;
     std::vector<std::unique_ptr<os::NetStack>> serverStacks_;
     std::unique_ptr<os::NetStack> clientStack_;
+    std::unique_ptr<fault::Injector> injector_;
 
     std::uint16_t nextPort_ = 2000;
 };

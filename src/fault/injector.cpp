@@ -1,0 +1,211 @@
+#include "fault/injector.hpp"
+
+#include "nic/device.hpp"
+#include "os/netstack.hpp"
+#include "topo/machine.hpp"
+
+namespace octo::fault {
+
+const char*
+kindName(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::PcieLinkDown: return "pcie_link_down";
+    case FaultKind::PcieLinkUp: return "pcie_link_up";
+    case FaultKind::PcieWidthDegrade: return "pcie_width_degrade";
+    case FaultKind::PcieRestore: return "pcie_restore";
+    case FaultKind::PfKill: return "pf_kill";
+    case FaultKind::PfRecover: return "pf_recover";
+    case FaultKind::QueueStall: return "queue_stall";
+    case FaultKind::QpiDegrade: return "qpi_degrade";
+    case FaultKind::QpiRestore: return "qpi_restore";
+    case FaultKind::IrqDelay: return "irq_delay";
+    case FaultKind::IrqDrop: return "irq_drop";
+    case FaultKind::IrqRestore: return "irq_restore";
+    }
+    return "unknown";
+}
+
+FaultPlan
+FaultPlan::randomized(std::uint64_t seed, sim::Tick horizon,
+                      int pf_count, int queue_count, int episodes)
+{
+    FaultPlan plan;
+    sim::Rng rng(seed);
+    if (horizon <= 0 || episodes <= 0)
+        return plan;
+    // Each episode is a fault/recovery pair inside its own slice of the
+    // horizon, so outages never overlap across episodes and every fault
+    // is healed before the horizon ends.
+    const sim::Tick slice = horizon / episodes;
+    for (int e = 0; e < episodes; ++e) {
+        const sim::Tick base = slice * e;
+        const auto at =
+            base + static_cast<sim::Tick>(rng.below(
+                       static_cast<std::uint64_t>(slice / 2)));
+        const auto heal =
+            at + slice / 4 +
+            static_cast<sim::Tick>(
+                rng.below(static_cast<std::uint64_t>(slice / 8)));
+        switch (rng.below(4)) {
+        case 0: {
+            const int pf = static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(
+                    pf_count > 0 ? pf_count : 1)));
+            plan.pfKill(at, pf).pfRecover(heal, pf);
+            break;
+        }
+        case 1: {
+            const int pf = static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(
+                    pf_count > 0 ? pf_count : 1)));
+            const int lanes = 1 << rng.below(3); // x1 / x2 / x4
+            plan.pcieWidthDegrade(at, pf, lanes).pcieRestore(heal, pf);
+            break;
+        }
+        case 2: {
+            const int qid = static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(
+                    queue_count > 0 ? queue_count : 1)));
+            plan.queueStall(at, qid, heal - at);
+            break;
+        }
+        default: {
+            const double scale =
+                0.1 + 0.4 * rng.uniform(); // 10–50% of nominal
+            plan.qpiDegrade(at, scale).qpiRestore(heal);
+            break;
+        }
+        }
+    }
+    return plan;
+}
+
+Injector::Injector(sim::Simulator& sim, Targets targets, FaultPlan plan)
+    : sim_(sim), targets_(targets), plan_(std::move(plan))
+{
+}
+
+void
+Injector::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    task_ = run();
+}
+
+sim::Task<>
+Injector::run()
+{
+    for (const FaultEvent& ev : plan_.events()) {
+        if (ev.at > sim_.now())
+            co_await sim::delay(sim_, ev.at - sim_.now());
+        apply(ev);
+    }
+    done_ = true;
+}
+
+void
+Injector::apply(const FaultEvent& ev)
+{
+    nic::NicDevice* nic = targets_.nic;
+    os::NetStack* stack = targets_.stack;
+    topo::Machine* machine = targets_.machine;
+
+    bool hit = true;
+    switch (ev.kind) {
+    case FaultKind::PcieLinkDown:
+        if (nic != nullptr)
+            nic->function(ev.target).setLinkUp(false);
+        else
+            hit = false;
+        break;
+    case FaultKind::PcieLinkUp:
+        if (nic != nullptr)
+            nic->function(ev.target).setLinkUp(true);
+        else
+            hit = false;
+        break;
+    case FaultKind::PcieWidthDegrade:
+        if (nic != nullptr) {
+            nic->function(ev.target).degradeWidth(ev.arg);
+            if (ev.scale < 1.0)
+                nic->function(ev.target).degradeGen(ev.scale);
+        } else {
+            hit = false;
+        }
+        break;
+    case FaultKind::PcieRestore:
+        if (nic != nullptr)
+            nic->function(ev.target).restoreLink();
+        else
+            hit = false;
+        break;
+    case FaultKind::PfKill:
+        // Surprise removal: the link drops *and* the driver hears about
+        // it (hotplug event), unlike the silent PcieLinkDown.
+        if (nic != nullptr)
+            nic->setPfLink(ev.target, false);
+        else
+            hit = false;
+        break;
+    case FaultKind::PfRecover:
+        // setPfLink first so the driver notification fires; restoreLink
+        // then retrains width/gen (its own setLinkUp is a no-op here).
+        if (nic != nullptr) {
+            nic->setPfLink(ev.target, true);
+            nic->function(ev.target).restoreLink();
+        } else {
+            hit = false;
+        }
+        break;
+    case FaultKind::QueueStall:
+        if (nic != nullptr)
+            nic->stallQueue(ev.target, ev.duration);
+        else
+            hit = false;
+        break;
+    case FaultKind::QpiDegrade:
+        if (machine != nullptr)
+            machine->setQpiScale(ev.scale);
+        else
+            hit = false;
+        break;
+    case FaultKind::QpiRestore:
+        if (machine != nullptr)
+            machine->setQpiScale(1.0);
+        else
+            hit = false;
+        break;
+    case FaultKind::IrqDelay:
+        if (stack != nullptr)
+            stack->setIrqDelay(ev.duration);
+        else
+            hit = false;
+        break;
+    case FaultKind::IrqDrop:
+        if (stack != nullptr)
+            stack->setIrqDropEvery(ev.arg);
+        else
+            hit = false;
+        break;
+    case FaultKind::IrqRestore:
+        if (stack != nullptr) {
+            stack->setIrqDelay(0);
+            stack->setIrqDropEvery(0);
+        } else {
+            hit = false;
+        }
+        break;
+    }
+
+    if (hit) {
+        applied_.add();
+        perKind_.at(static_cast<std::size_t>(ev.kind)).add();
+    } else {
+        skipped_.add();
+    }
+}
+
+} // namespace octo::fault

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * Declarative fault schedules.
+ *
+ * A FaultPlan is a list of timed fault events — PF surprise-removal,
+ * PCIe link flaps and width/gen degradation, NIC queue stalls,
+ * interconnect degradation, interrupt-delivery faults — that an
+ * Injector replays against the model at exact simulated times. Plans
+ * are plain data: copyable, comparable, and fully deterministic, so the
+ * same plan over the same testbed seed reproduces bit-identical event
+ * counts. `randomized()` derives a schedule from a seed for stress
+ * runs; the seed is the only source of variation.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace octo::fault {
+
+/** Everything the injector knows how to break (and un-break). */
+enum class FaultKind
+{
+    PcieLinkDown,     ///< Silent PCIe link loss (no driver event).
+    PcieLinkUp,       ///< Silent link return.
+    PcieWidthDegrade, ///< Retrain to fewer lanes and/or lower gen.
+    PcieRestore,      ///< Retrain back to full width/gen/up.
+    PfKill,           ///< Surprise removal: link down + driver event.
+    PfRecover,        ///< Re-probe: link up + driver event.
+    QueueStall,       ///< NIC queue datapath stalls for a duration.
+    QpiDegrade,       ///< Interconnect links retrain to a rate fraction.
+    QpiRestore,       ///< Interconnect back to nominal.
+    IrqDelay,         ///< Extra delivery latency on every interrupt.
+    IrqDrop,          ///< Lose every n-th interrupt (watchdog recovers).
+    IrqRestore,       ///< Clear all interrupt faults.
+};
+
+constexpr int kFaultKindCount = 12;
+
+/** Human-readable kind name (logs, CSV columns, test messages). */
+const char* kindName(FaultKind k);
+
+/** One scheduled fault. Field meaning varies by kind (see builders). */
+struct FaultEvent
+{
+    sim::Tick at = 0;
+    FaultKind kind = FaultKind::PfKill;
+    int target = 0;          ///< PF index, queue id — kind-dependent.
+    int arg = 0;             ///< Lanes, drop-every-n — kind-dependent.
+    double scale = 1.0;      ///< Rate fraction for degradations.
+    sim::Tick duration = 0;  ///< Stall length / IRQ extra delay.
+
+    bool
+    operator==(const FaultEvent& o) const
+    {
+        return at == o.at && kind == o.kind && target == o.target &&
+               arg == o.arg && scale == o.scale &&
+               duration == o.duration;
+    }
+};
+
+/**
+ * An ordered fault schedule. Builders append and return *this for
+ * chaining; `events()` yields the schedule sorted by time with
+ * insertion order breaking ties (stable), which is what makes replay
+ * deterministic regardless of authoring order.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+
+    bool empty() const { return events_.empty(); }
+    std::size_t size() const { return events_.size(); }
+
+    /** Schedule-ordered view: sorted by `at`, stable on ties. */
+    std::vector<FaultEvent>
+    events() const
+    {
+        std::vector<FaultEvent> out(events_);
+        std::stable_sort(out.begin(), out.end(),
+                         [](const FaultEvent& a, const FaultEvent& b) {
+                             return a.at < b.at;
+                         });
+        return out;
+    }
+
+    FaultPlan&
+    add(const FaultEvent& ev)
+    {
+        events_.push_back(ev);
+        return *this;
+    }
+
+    // ------------------------------------------------------- builders
+    FaultPlan&
+    pcieLinkDown(sim::Tick at, int pf)
+    {
+        return add({at, FaultKind::PcieLinkDown, pf, 0, 1.0, 0});
+    }
+
+    FaultPlan&
+    pcieLinkUp(sim::Tick at, int pf)
+    {
+        return add({at, FaultKind::PcieLinkUp, pf, 0, 1.0, 0});
+    }
+
+    /** Retrain PF @p pf to @p lanes lanes at @p gen_scale per-lane
+     *  rate (1.0 keeps the gen). */
+    FaultPlan&
+    pcieWidthDegrade(sim::Tick at, int pf, int lanes,
+                     double gen_scale = 1.0)
+    {
+        return add(
+            {at, FaultKind::PcieWidthDegrade, pf, lanes, gen_scale, 0});
+    }
+
+    FaultPlan&
+    pcieRestore(sim::Tick at, int pf)
+    {
+        return add({at, FaultKind::PcieRestore, pf, 0, 1.0, 0});
+    }
+
+    FaultPlan&
+    pfKill(sim::Tick at, int pf)
+    {
+        return add({at, FaultKind::PfKill, pf, 0, 1.0, 0});
+    }
+
+    FaultPlan&
+    pfRecover(sim::Tick at, int pf)
+    {
+        return add({at, FaultKind::PfRecover, pf, 0, 1.0, 0});
+    }
+
+    FaultPlan&
+    queueStall(sim::Tick at, int qid, sim::Tick duration)
+    {
+        return add({at, FaultKind::QueueStall, qid, 0, 1.0, duration});
+    }
+
+    FaultPlan&
+    qpiDegrade(sim::Tick at, double scale)
+    {
+        return add({at, FaultKind::QpiDegrade, 0, 0, scale, 0});
+    }
+
+    FaultPlan&
+    qpiRestore(sim::Tick at)
+    {
+        return add({at, FaultKind::QpiRestore, 0, 0, 1.0, 0});
+    }
+
+    FaultPlan&
+    irqDelay(sim::Tick at, sim::Tick extra)
+    {
+        return add({at, FaultKind::IrqDelay, 0, 0, 1.0, extra});
+    }
+
+    FaultPlan&
+    irqDrop(sim::Tick at, int every_n)
+    {
+        return add({at, FaultKind::IrqDrop, 0, every_n, 1.0, 0});
+    }
+
+    FaultPlan&
+    irqRestore(sim::Tick at)
+    {
+        return add({at, FaultKind::IrqRestore, 0, 0, 1.0, 0});
+    }
+
+    /**
+     * Seed-derived stress schedule: paired fault/recovery events spread
+     * over [0, horizon). Every choice comes from the SplitMix64 stream,
+     * so two plans from the same seed are identical element-for-element.
+     *
+     * @param pf_count    PFs eligible for kill/degrade faults.
+     * @param queue_count Queues eligible for stall faults.
+     * @param episodes    Fault/recovery pairs to schedule.
+     */
+    static FaultPlan randomized(std::uint64_t seed, sim::Tick horizon,
+                                int pf_count, int queue_count,
+                                int episodes = 8);
+
+  private:
+    std::vector<FaultEvent> events_;
+};
+
+} // namespace octo::fault

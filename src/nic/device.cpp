@@ -1,5 +1,6 @@
 #include "nic/device.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace octo::nic {
@@ -98,6 +99,19 @@ NicDevice::rxPath(Frame f)
 {
     const int qid = classify(f.flow);
     NicQueue& q = *queues_.at(qid);
+    if (!q.pf->linkUp()) {
+        // Surprise-removed endpoint: the DMA cannot be issued and the
+        // frame is lost before any ring credit is consumed. The sink's
+        // loss accounting is what lets the sender's retry/timeout path
+        // reclaim the in-flight window instead of leaking it.
+        ++rxDrops_;
+        ++deadPfDrops_;
+        if (sink_ != nullptr)
+            sink_->frameLost(f.flow, f.payloadBytes);
+        co_return;
+    }
+    if (q.stalledUntil > sim_.now())
+        co_await sim::delay(sim_, q.stalledUntil - sim_.now());
     if (!q.rxCredits.tryAcquire()) {
         ++rxDrops_; // Rx ring overrun: the frame is lost.
         co_return;
@@ -135,10 +149,71 @@ NicDevice::pfForNode(int node)
     return *pfs_.front();
 }
 
+pcie::PciFunction*
+NicDevice::pfForNodeAlive(int node)
+{
+    for (auto& pf : pfs_) {
+        if (pf->node() == node && pf->linkUp())
+            return pf.get();
+    }
+    for (auto& pf : pfs_) {
+        if (pf->linkUp())
+            return pf.get();
+    }
+    return nullptr;
+}
+
+void
+NicDevice::setPfLink(int idx, bool up)
+{
+    pcie::PciFunction& pf = *pfs_.at(idx);
+    if (pf.linkUp() == up)
+        return;
+    pf.setLinkUp(up);
+    if (up)
+        ++pfRecoveries_;
+    else
+        ++pfKills_;
+    if (sink_ != nullptr)
+        sink_->pfStateChanged(idx, up);
+}
+
+void
+NicDevice::rebindQueue(int qid, pcie::PciFunction& pf)
+{
+    queues_.at(qid)->pf = &pf;
+}
+
+void
+NicDevice::stallQueue(int qid, Tick duration)
+{
+    NicQueue& q = *queues_.at(qid);
+    const Tick until = sim_.now() + duration;
+    q.stalledUntil = std::max(q.stalledUntil, until);
+    ++queueStallEvents_;
+}
+
 Task<>
 NicDevice::txProcess(NicQueue& q, TxDesc d)
 {
     const auto& cal = host_.cal();
+    if (q.stalledUntil > sim_.now())
+        co_await sim::delay(sim_, q.stalledUntil - sim_.now());
+    if (!q.pf->linkUp()) {
+        // Dead endpoint: the descriptor fetch fails (all-ones read).
+        // The driver's flush path synthesizes an error completion so the
+        // skb is freed rather than leaked; the payload never reaches the
+        // wire, so the sink records the loss for window reclamation.
+        ++txAborts_;
+        if (sink_ != nullptr)
+            sink_->frameLost(d.flow, d.bytes);
+        TxCompletion tc;
+        tc.desc = d;
+        tc.cqeLoc = mem::DataLoc::Dram;
+        q.txCq.tryPush(tc);
+        maybeRaiseTxIrq(q);
+        co_return;
+    }
     // Fetch descriptor + payload via this queue's PF. The descriptor is
     // folded into the payload read (64 extra bytes).
     const std::uint32_t main_bytes =
@@ -147,10 +222,13 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
     if (d.spanBytes > 0) {
         // Cross-node fragment: with IOctoSG the driver's hint routes the
         // fetch through the fragment's local PF; otherwise the queue's
-        // PF reads it across the interconnect (NUDMA).
-        pcie::PciFunction& frag_pf =
-            octoSg_ ? pfForNode(d.spanNode) : *q.pf;
-        co_await frag_pf.dmaRead(d.spanNode, d.spanBytes, d.loc);
+        // PF reads it across the interconnect (NUDMA). A dead fragment
+        // PF falls back to the queue's own endpoint.
+        pcie::PciFunction* frag_pf =
+            octoSg_ ? &pfForNode(d.spanNode) : q.pf;
+        if (!frag_pf->linkUp())
+            frag_pf = q.pf;
+        co_await frag_pf->dmaRead(d.spanNode, d.spanBytes, d.loc);
     }
 
     // Segment onto the wire (TSO, §2.3): reserve wire slots so

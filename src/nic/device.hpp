@@ -53,6 +53,21 @@ class NicSink
     virtual ~NicSink() = default;
     virtual void rxReady(int qid) = 0;
     virtual void txReady(int qid) = 0;
+
+    /** PF hot-unplug/re-probe notification (surprise removal, AER). The
+     *  team driver reacts by re-steering queues; plain netdevs ignore
+     *  it. */
+    virtual void pfStateChanged(int pf_idx, bool up) { (void)pf_idx;
+                                                       (void)up; }
+
+    /** A frame of @p flow was lost inside the device (dead-PF Rx drop
+     *  or aborted Tx descriptor). Drives the stack's retry/reclaim
+     *  accounting. */
+    virtual void frameLost(const FiveTuple& flow, std::uint32_t bytes)
+    {
+        (void)flow;
+        (void)bytes;
+    }
 };
 
 /** One queue pair: Rx ring + completion queue, Tx ring + completions. */
@@ -60,7 +75,7 @@ struct NicQueue
 {
     NicQueue(sim::Simulator& sim, int id_, topo::Core* irq_core,
              pcie::PciFunction* pf_, int ring_entries)
-        : id(id_), irqCore(irq_core), pf(pf_),
+        : id(id_), irqCore(irq_core), pf(pf_), homePf(pf_),
           bufNode(irq_core->node()), rxCq(sim, ring_entries),
           txRing(sim, ring_entries), txCq(sim, 4 * ring_entries),
           rxCredits(sim, ring_entries)
@@ -70,6 +85,9 @@ struct NicQueue
     int id;
     topo::Core* irqCore; ///< Core receiving this queue's interrupts.
     pcie::PciFunction* pf; ///< PCIe endpoint carrying this queue's DMA.
+    pcie::PciFunction* homePf; ///< Binding installed at setup; failover
+                               ///< rebinds pf and rebalances back here.
+    sim::Tick stalledUntil = 0; ///< Queue-stall fault deadline.
     int bufNode;         ///< Node holding ring + packet buffers (local
                          ///< to the consuming core, per XPS/ARFS).
     sim::Channel<RxCompletion> rxCq;
@@ -147,8 +165,31 @@ class NicDevice
     /** The PF attached to @p node, or PF0 when none is. */
     pcie::PciFunction& pfForNode(int node);
 
+    /** The live PF attached to @p node; falls back to any live PF, or
+     *  nullptr when every endpoint is down. Failover target choice. */
+    pcie::PciFunction* pfForNodeAlive(int node);
+
     /** Start per-queue Tx engines. Call after all queues exist. */
     void start();
+
+    // --------------------------------------------------- fault injection
+    /**
+     * PF surprise-removal (@p up false) or re-probe (@p up true): flips
+     * the endpoint's link state and notifies the sink so the driver can
+     * fail queues over / rebalance them back. Frames targeting a dead
+     * PF's queues are dropped (Rx) or aborted with a synthetic error
+     * completion (Tx) until the driver reacts.
+     */
+    void setPfLink(int idx, bool up);
+
+    /** Rebind @p qid's DMA to @p pf (driver reprogramming the queue
+     *  context behind a surviving endpoint). Ring and buffers stay
+     *  put; only the PCIe path changes. */
+    void rebindQueue(int qid, pcie::PciFunction& pf);
+
+    /** Stall queue @p qid's datapath (firmware hiccup): Rx completions
+     *  and Tx descriptor processing are deferred for @p duration. */
+    void stallQueue(int qid, Tick duration);
 
     // --------------------------------------------------------- steering
     /**
@@ -186,6 +227,19 @@ class NicDevice
     // ------------------------------------------------------- statistics
     std::uint64_t rxDrops() const { return rxDrops_; }
 
+    /** Rx frames dropped because the target queue's PF was down. */
+    std::uint64_t deadPfDrops() const { return deadPfDrops_; }
+
+    /** Tx descriptors aborted (error completion) on a dead PF. */
+    std::uint64_t txAborts() const { return txAborts_; }
+
+    /** Queue-stall fault events applied. */
+    std::uint64_t queueStallEvents() const { return queueStallEvents_; }
+
+    /** PF surprise-removal / re-probe event counts. */
+    std::uint64_t pfKills() const { return pfKills_; }
+    std::uint64_t pfRecoveries() const { return pfRecoveries_; }
+
     /** Cumulative DMA-write (device-to-host) bytes through PF @p idx —
      *  the per-PF throughput series of Fig. 14. */
     std::uint64_t pfRxBytes(int idx) const;
@@ -216,6 +270,11 @@ class NicDevice
 
     std::vector<Task<>> engines_;
     std::uint64_t rxDrops_ = 0;
+    std::uint64_t deadPfDrops_ = 0;
+    std::uint64_t txAborts_ = 0;
+    std::uint64_t queueStallEvents_ = 0;
+    std::uint64_t pfKills_ = 0;
+    std::uint64_t pfRecoveries_ = 0;
 };
 
 } // namespace octo::nic

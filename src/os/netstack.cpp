@@ -21,6 +21,8 @@ NetStack::NetStack(topo::Machine& machine, nic::NicDevice& device,
     device_.setSink(this);
     if (cfg_.steerExpiry > 0)
         expiry_ = expiryWorker();
+    if (cfg_.retryTimeout > 0)
+        retry_ = retryWorker();
 }
 
 NetStack::~NetStack() = default;
@@ -267,13 +269,148 @@ NetStack::rawPost(ThreadCtx& t, const nic::FiveTuple& flow,
 void
 NetStack::rxReady(int qid)
 {
+    Tick extra = 0;
+    if (irqFaultFilter(qid, /*rx=*/true, extra))
+        return;
+    if (extra > 0) {
+        sim_.scheduleIn(extra, [this, qid] { softirqRx(qid).detach(); });
+        return;
+    }
     softirqRx(qid).detach();
 }
 
 void
 NetStack::txReady(int qid)
 {
+    Tick extra = 0;
+    if (irqFaultFilter(qid, /*rx=*/false, extra))
+        return;
+    if (extra > 0) {
+        sim_.scheduleIn(extra, [this, qid] { softirqTx(qid).detach(); });
+        return;
+    }
     softirqTx(qid).detach();
+}
+
+bool
+NetStack::irqFaultFilter(int qid, bool rx, Tick& delay)
+{
+    if (irqDropEvery_ > 0 && (++irqSeen_ % irqDropEvery_) == 0) {
+        // The interrupt is lost; the queue's IRQ stays disarmed, so
+        // without the watchdog poll it would sit dead until teardown.
+        irqsDropped_.add();
+        sim_.scheduleIn(cfg_.irqWatchdog, [this, qid, rx] {
+            watchdogPolls_.add();
+            if (rx)
+                softirqRx(qid).detach();
+            else
+                softirqTx(qid).detach();
+        });
+        return true;
+    }
+    if (irqExtraDelay_ > 0) {
+        irqsDelayed_.add();
+        delay = irqExtraDelay_;
+    }
+    return false;
+}
+
+void
+NetStack::frameLost(const nic::FiveTuple& flow, std::uint32_t bytes)
+{
+    lostFrames_.add();
+    lostBytes_.add(bytes);
+    // Rx drop at our device: `flow` is some socket's incoming flow.
+    if (auto it = demux_.find(flow); it != demux_.end()) {
+        it->second->lostRxBytes += bytes;
+        it->second->lastLossAt = sim_.now();
+        return;
+    }
+    // Tx abort at our device: `flow` is the transmit direction, i.e. the
+    // reverse of the owning socket's demux key.
+    if (auto it = demux_.find(flow.reversed()); it != demux_.end()) {
+        it->second->lostTxBytes += bytes;
+        it->second->lastLossAt = sim_.now();
+        return;
+    }
+    ++unmatched_;
+}
+
+void
+NetStack::pfStateChanged(int pf_idx, bool up)
+{
+    if (!cfg_.teamFailover)
+        return;
+    // Surprise removal surfaces through AER/hotplug with a detection
+    // latency; the driver reacts only then. State is re-checked at apply
+    // time in case the event was superseded (flap).
+    sim_.scheduleIn(cfg_.teamFailoverDelay,
+                    [this, pf_idx, up] { applyPfEvent(pf_idx, up); });
+}
+
+void
+NetStack::applyPfEvent(int pf_idx, bool up)
+{
+    nic::NicDevice& dev = device_;
+    if (!up) {
+        if (dev.function(pf_idx).linkUp())
+            return; // recovered before the driver reacted
+        for (int qid = 0; qid < dev.queueCount(); ++qid) {
+            nic::NicQueue& q = dev.queue(qid);
+            if (q.pf->id() != pf_idx)
+                continue;
+            // Prefer the survivor local to the IRQ core; temporary NUDMA
+            // beats an outage (the bonding-device view of the octoNIC).
+            pcie::PciFunction* survivor =
+                dev.pfForNodeAlive(q.irqCore->node());
+            if (survivor == nullptr || survivor->id() == pf_idx)
+                continue; // total PCIe outage: nothing to steer to
+            dev.rebindQueue(qid, *survivor);
+            pfFailovers_.add();
+        }
+        return;
+    }
+    if (!dev.function(pf_idx).linkUp())
+        return; // died again before the re-probe settled
+    for (int qid = 0; qid < dev.queueCount(); ++qid) {
+        nic::NicQueue& q = dev.queue(qid);
+        if (q.homePf->id() != pf_idx || q.pf == q.homePf)
+            continue;
+        dev.rebindQueue(qid, *q.homePf);
+        pfRebalances_.add();
+    }
+}
+
+Task<>
+NetStack::retryWorker()
+{
+    // RTO-style reclamation: bytes lost inside a NIC hold window credits
+    // at their sender. Once a connection has been loss-quiet for a full
+    // retryTimeout, the abstracted retransmission is considered
+    // delivered and the credits return. (The byte stream itself is not
+    // re-injected — TCP data recovery is abstracted the same way acks
+    // are; what must not leak is the flow-control descriptor state.)
+    for (;;) {
+        co_await delay(sim_, cfg_.retryTimeout / 2);
+        for (auto& s : sockets_) {
+            const std::uint64_t peer_lost =
+                s->peer != nullptr ? s->peer->lostRxBytes : 0;
+            const std::uint64_t lost = s->lostTxBytes + peer_lost;
+            if (lost <= s->reclaimedBytes)
+                continue;
+            Tick last = s->lastLossAt;
+            if (s->peer != nullptr)
+                last = std::max(last, s->peer->lastLossAt);
+            if (sim_.now() - last < cfg_.retryTimeout)
+                continue;
+            const std::uint64_t pending = lost - s->reclaimedBytes;
+            s->reclaimedBytes += pending;
+            s->txWindow.release(
+                static_cast<std::int64_t>(pending));
+            reclaimedBytes_.add(pending);
+            retryReclaims_.add();
+        }
+    }
 }
 
 Task<>
@@ -312,10 +449,15 @@ NetStack::softirqRx(int qid)
                 // on the interconnect, so under congestion (Fig. 11)
                 // the wait grows with the load — bounded by the home
                 // agent's read-queue cap.
-                sim::FairPipe& link =
-                    machine_.qpi(q.pf->node(), c.node());
+                // Same-node only with DDIO off: a plain local DRAM
+                // miss, no interconnect crossing to serialize behind.
                 const Tick backlog =
-                    std::min(link.backlog(), cal.remoteMissWaitCap);
+                    q.pf->node() == c.node()
+                        ? 0
+                        : std::min(
+                              machine_.qpi(q.pf->node(), c.node())
+                                  .backlog(),
+                              cal.remoteMissWaitCap);
                 machine_.dram(f.bufNode).reserve(64ull * cal.cqeLines);
                 co_await delay(sim_, cal.dramLatency + cal.qpiLatency +
                                           backlog +

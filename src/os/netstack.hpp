@@ -22,6 +22,7 @@
 #include "nic/device.hpp"
 #include "os/socket.hpp"
 #include "os/thread.hpp"
+#include "sim/stats.hpp"
 #include "sim/task.hpp"
 
 namespace octo::os {
@@ -42,6 +43,28 @@ struct StackConfig
      *  periodically deletes rules for flows with no recent traffic
      *  (paper §4.2). */
     sim::Tick steerExpiry = 0;
+
+    // -------------------------------------------------- fault tolerance
+    /** Team-driver PF failover: when a member PF dies, its queues are
+     *  rebound to a surviving PF (accepting NUDMA over an outage) and
+     *  rebalanced back on recovery. The octoNIC treats its per-socket
+     *  PFs "like a bonding device"; this is the bonding-style failover
+     *  that view implies. */
+    bool teamFailover = false;
+
+    /** Delay between the PF hot-unplug/re-probe event and the driver
+     *  acting on it (AER + hotplug handling latency). */
+    sim::Tick teamFailoverDelay = sim::fromMs(1);
+
+    /** RTO-style retry worker period (0 disables): window credits held
+     *  by frames lost in the device are reclaimed once a connection has
+     *  been loss-quiet for this long, so in-flight descriptors on a
+     *  dead PF are recovered instead of leaking. */
+    sim::Tick retryTimeout = 0;
+
+    /** Softirq watchdog: a lost interrupt's queue is polled after this
+     *  delay (NAPI watchdog semantics), bounding IRQ-loss outages. */
+    sim::Tick irqWatchdog = sim::fromUs(500);
 };
 
 /**
@@ -114,6 +137,17 @@ class NetStack : public nic::NicSink
     // -------------------------------------------------- NicSink (IRQs)
     void rxReady(int qid) override;
     void txReady(int qid) override;
+    void pfStateChanged(int pf_idx, bool up) override;
+    void frameLost(const nic::FiveTuple& flow,
+                   std::uint32_t bytes) override;
+
+    // -------------------------------------------------- fault injection
+    /** Delay every interrupt delivery by @p extra (0 disables). */
+    void setIrqDelay(sim::Tick extra) { irqExtraDelay_ = extra; }
+
+    /** Drop every @p n-th interrupt (0 disables); the queue is
+     *  recovered by the softirq watchdog poll. */
+    void setIrqDropEvery(int n) { irqDropEvery_ = n; }
 
     // ------------------------------------------------------- statistics
     std::uint64_t rxPacketsProcessed() const { return rxPackets_; }
@@ -122,10 +156,37 @@ class NetStack : public nic::NicSink
     std::uint64_t steeringUpdates() const { return steeringUpdates_; }
     std::uint64_t steeringExpiries() const { return steeringExpiries_; }
 
+    /** Queues failed over to a surviving PF / rebalanced back home. */
+    std::uint64_t pfFailovers() const { return pfFailovers_.value(); }
+    std::uint64_t pfRebalances() const { return pfRebalances_.value(); }
+
+    /** Device-loss accounting (see Socket loss ledger). */
+    std::uint64_t lostFrames() const { return lostFrames_.value(); }
+    std::uint64_t lostBytes() const { return lostBytes_.value(); }
+    std::uint64_t reclaimedBytes() const
+    {
+        return reclaimedBytes_.value();
+    }
+    std::uint64_t retryReclaims() const { return retryReclaims_.value(); }
+
+    /** Interrupt-fault accounting. */
+    std::uint64_t irqsDelayed() const { return irqsDelayed_.value(); }
+    std::uint64_t irqsDropped() const { return irqsDropped_.value(); }
+    std::uint64_t watchdogPolls() const { return watchdogPolls_.value(); }
+
   private:
     sim::Task<> softirqRx(int qid);
     sim::Task<> expiryWorker();
     sim::Task<> softirqTx(int qid);
+    sim::Task<> retryWorker();
+
+    /** Act on a PF death/recovery after the detection delay. */
+    void applyPfEvent(int pf_idx, bool up);
+
+    /** IRQ fault filter: true if the interrupt was dropped (a watchdog
+     *  poll of @p qid has been scheduled); otherwise adds any
+     *  configured extra delivery delay to @p delay. */
+    bool irqFaultFilter(int qid, bool rx, sim::Tick& delay);
 
     /** ARFS callback path: the flow's consumer now runs on @p core. */
     void flowMoved(Socket& sock, topo::Core& core);
@@ -154,6 +215,21 @@ class NetStack : public nic::NicSink
     std::uint64_t steeringUpdates_ = 0;
     std::uint64_t steeringExpiries_ = 0;
     sim::Task<> expiry_;
+    sim::Task<> retry_;
+
+    // Fault state & recovery accounting.
+    sim::Tick irqExtraDelay_ = 0;
+    int irqDropEvery_ = 0;
+    std::uint64_t irqSeen_ = 0;
+    sim::Counter pfFailovers_;
+    sim::Counter pfRebalances_;
+    sim::Counter lostFrames_;
+    sim::Counter lostBytes_;
+    sim::Counter reclaimedBytes_;
+    sim::Counter retryReclaims_;
+    sim::Counter irqsDelayed_;
+    sim::Counter irqsDropped_;
+    sim::Counter watchdogPolls_;
 };
 
 } // namespace octo::os

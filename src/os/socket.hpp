@@ -90,6 +90,27 @@ class Socket
      *  domain (netdev) — models the §2.5 fact that a socket cannot
      *  change physical device once established. */
     int steerDomain = -1;
+
+    // ------------------------------------------ loss & retry accounting
+    /** Payload bytes of this socket's *incoming* flow dropped inside the
+     *  receiving NIC (dead-PF Rx drops). Recorded by the receiver's
+     *  stack; read by the sender's retry worker through `peer`. */
+    std::uint64_t lostRxBytes = 0;
+
+    /** Payload bytes of this socket's *outgoing* flow aborted in the
+     *  local NIC before reaching the wire (dead-PF Tx aborts). */
+    std::uint64_t lostTxBytes = 0;
+
+    /** Lost bytes whose window credits the retry worker has already
+     *  returned. Leak invariant: once traffic quiesces, reclaimedBytes
+     *  equals lostTxBytes + peer->lostRxBytes and the window is full. */
+    std::uint64_t reclaimedBytes = 0;
+
+    /** Time of the most recent loss on either side of this connection;
+     *  the retry worker reclaims only after a quiet retryTimeout (RTO
+     *  semantics: retransmissions stop being futile only once the
+     *  blackout ends). */
+    sim::Tick lastLossAt = 0;
 };
 
 } // namespace octo::os

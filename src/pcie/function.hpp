@@ -10,6 +10,7 @@
  */
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 
@@ -52,6 +53,66 @@ class PciFunction
     int id() const { return id_; }
     int lanes() const { return lanes_; }
     topo::Machine& host() { return host_; }
+
+    // -------------------------------------------------- fault injection
+    /**
+     * Operational link state. A downed link carries no new DMA: the NIC
+     * datapath checks this before issuing transactions and drops (Rx) or
+     * aborts (Tx) instead. Transfers already in flight complete — they
+     * were committed to the fabric before the fault.
+     */
+    bool linkUp() const { return linkUp_; }
+
+    void
+    setLinkUp(bool up)
+    {
+        if (linkUp_ == up)
+            return;
+        linkUp_ = up;
+        if (up)
+            ++linkUpEvents_;
+        else
+            ++linkDownEvents_;
+    }
+
+    /**
+     * Degrade the link to @p lanes operational lanes (link retraining
+     * after lane failure). Bandwidth scales immediately; in-flight
+     * reservations keep their old completion times.
+     */
+    void
+    degradeWidth(int lanes)
+    {
+        operLanes_ = std::max(1, std::min(lanes, lanes_));
+        ++degradeEvents_;
+        applyRate();
+    }
+
+    /** Degrade the per-lane rate by @p scale in (0, 1] (gen downshift,
+     *  e.g. gen3 -> gen1 retrain ≈ 0.32). */
+    void
+    degradeGen(double scale)
+    {
+        genScale_ = std::min(1.0, std::max(0.01, scale));
+        ++degradeEvents_;
+        applyRate();
+    }
+
+    /** Restore full width, gen rate, and link-up state. */
+    void
+    restoreLink()
+    {
+        operLanes_ = lanes_;
+        genScale_ = 1.0;
+        applyRate();
+        setLinkUp(true);
+    }
+
+    int operLanes() const { return operLanes_; }
+    double genScale() const { return genScale_; }
+    std::uint64_t linkDownEvents() const { return linkDownEvents_; }
+    std::uint64_t linkUpEvents() const { return linkUpEvents_; }
+    std::uint64_t degradeEvents() const { return degradeEvents_; }
 
     /** Device-to-host direction (DMA writes). */
     sim::Pipe& toHost() { return toHost_; }
@@ -135,6 +196,15 @@ class PciFunction
         return next++;
     }
 
+    void
+    applyRate()
+    {
+        const double gbps =
+            operLanes_ * host_.cal().pcieLaneGbps * genScale_;
+        toHost_.setRateGbps(gbps);
+        fromHost_.setRateGbps(gbps);
+    }
+
     topo::Machine& host_;
     int node_;
     int id_;
@@ -142,6 +212,13 @@ class PciFunction
     int fairClass_;
     sim::Pipe toHost_;
     sim::Pipe fromHost_;
+
+    bool linkUp_ = true;
+    int operLanes_ = lanes_;
+    double genScale_ = 1.0;
+    std::uint64_t linkDownEvents_ = 0;
+    std::uint64_t linkUpEvents_ = 0;
+    std::uint64_t degradeEvents_ = 0;
 };
 
 } // namespace octo::pcie

@@ -42,6 +42,11 @@ class FairPipe
     std::uint64_t totalBytes() const { return totalBytes_; }
     Tick busyTime() const { return busy_; }
 
+    /** Change the service rate. Takes effect from the next quantum, so
+     *  a long in-flight transfer sees degradation mid-stream — the
+     *  behaviour link-degradation faults rely on. */
+    void setRateGbps(double gbps) { gbps_ = gbps; }
+
     /** Total queued backlog, expressed as service time. */
     Tick
     backlog() const

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -91,16 +92,22 @@ class Distribution
     }
 
     std::uint64_t count() const { return acc_.count(); }
-    double mean() const { return acc_.mean(); }
-    double min() const { return acc_.min(); }
-    double max() const { return acc_.max(); }
 
-    /** @param p Percentile in [0, 100]. */
+    // Unlike Accumulator (whose empty mean/min/max are a harmless 0 for
+    // streaming counters), an empty distribution has no meaningful
+    // statistic: a silent 0 here has been mistaken for "zero latency".
+    // Empty queries return NaN so they poison downstream math visibly.
+    double mean() const { return count() ? acc_.mean() : nan(); }
+    double min() const { return count() ? acc_.min() : nan(); }
+    double max() const { return count() ? acc_.max() : nan(); }
+
+    /** @param p Percentile in [0, 100]; NaN when no samples exist. */
     double
     percentile(double p) const
     {
+        assert(p >= 0.0 && p <= 100.0);
         if (samples_.empty())
-            return 0.0;
+            return nan();
         std::vector<double> sorted(samples_);
         std::sort(sorted.begin(), sorted.end());
         const double rank = p / 100.0 * (sorted.size() - 1);
@@ -120,6 +127,12 @@ class Distribution
     }
 
   private:
+    static double
+    nan()
+    {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
+
     Accumulator acc_;
     std::vector<double> samples_;
     std::size_t maxSamples_;

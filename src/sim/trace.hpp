@@ -55,6 +55,11 @@ class TimeSeries
     }
 
     std::size_t sampleCount() const { return samples_.size(); }
+    std::size_t probeCount() const { return probes_.size(); }
+    const std::string& probeName(std::size_t i) const
+    {
+        return names_.at(i);
+    }
     Tick period() const { return period_; }
 
     /** Sample @p idx of probe @p probe, as bytes-per-window. */

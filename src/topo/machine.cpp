@@ -78,6 +78,26 @@ Machine::cpuTouch(int cpu_node, int mem_node, std::uint64_t bytes,
     co_return lat;
 }
 
+void
+Machine::setQpiScale(double scale)
+{
+    qpiScale_ = std::max(0.01, scale);
+    for (int a = 0; a < cal_.nodes; ++a) {
+        for (int b = 0; b < cal_.nodes; ++b) {
+            if (a != b)
+                qpi(a, b).setRateGbps(cal_.qpiGbps * qpiScale_);
+        }
+    }
+    ++qpiDegradeEvents_;
+}
+
+void
+Machine::degradeQpiLink(int from, int to, double scale)
+{
+    qpi(from, to).setRateGbps(cal_.qpiGbps * std::max(0.01, scale));
+    ++qpiDegradeEvents_;
+}
+
 std::uint64_t
 Machine::dramBytesTotal() const
 {

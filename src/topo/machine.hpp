@@ -157,6 +157,20 @@ class Machine
     /** Total interconnect traffic, all links. */
     std::uint64_t qpiBytesTotal() const;
 
+    // --------------------------------------------------- fault injection
+    /**
+     * Scale every interconnect link to @p scale of its calibrated rate
+     * (link retraining to fewer/slower lanes under a correctable-error
+     * storm). 1.0 restores nominal bandwidth.
+     */
+    void setQpiScale(double scale);
+
+    /** Scale one directed link only. */
+    void degradeQpiLink(int from, int to, double scale);
+
+    double qpiScale() const { return qpiScale_; }
+    std::uint64_t qpiDegradeEvents() const { return qpiDegradeEvents_; }
+
   private:
     sim::Simulator& sim_;
     Calibration cal_;
@@ -166,6 +180,8 @@ class Machine
     std::vector<std::unique_ptr<mem::LlcModel>> llcs_;
     std::vector<std::unique_ptr<sim::Pipe>> drams_;
     std::vector<std::unique_ptr<sim::FairPipe>> links_;
+    double qpiScale_ = 1.0;
+    std::uint64_t qpiDegradeEvents_ = 0;
 };
 
 } // namespace octo::topo

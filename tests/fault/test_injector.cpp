@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Injector unit tests: each event kind reaches its model hook at the
+ * scheduled tick, and absent targets are counted as skipped.
+ */
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+
+namespace octo::fault {
+namespace {
+
+using core::ServerMode;
+using core::Testbed;
+using core::TestbedConfig;
+using sim::fromMs;
+using sim::fromUs;
+
+TestbedConfig
+ioctopusCfg()
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Ioctopus;
+    return cfg;
+}
+
+TEST(Injector, PcieLinkEventsApplyAtScheduledTicks)
+{
+    Testbed tb(ioctopusCfg());
+    FaultPlan plan;
+    plan.pcieLinkDown(fromMs(1), 0).pcieLinkUp(fromMs(3), 0);
+    Injector inj(tb.sim(), {&tb.serverNic(), nullptr, nullptr}, plan);
+    inj.start();
+
+    EXPECT_TRUE(tb.serverNic().function(0).linkUp());
+    tb.runFor(fromMs(2)); // t = 2 ms: down applied, up not yet
+    EXPECT_FALSE(tb.serverNic().function(0).linkUp());
+    EXPECT_FALSE(inj.done());
+    tb.runFor(fromMs(2)); // t = 4 ms
+    EXPECT_TRUE(tb.serverNic().function(0).linkUp());
+    EXPECT_TRUE(inj.done());
+    EXPECT_EQ(inj.applied(), 2u);
+    EXPECT_EQ(inj.appliedOf(FaultKind::PcieLinkDown), 1u);
+    EXPECT_EQ(inj.appliedOf(FaultKind::PcieLinkUp), 1u);
+    EXPECT_EQ(tb.serverNic().function(0).linkDownEvents(), 1u);
+    EXPECT_EQ(tb.serverNic().function(0).linkUpEvents(), 1u);
+}
+
+TEST(Injector, WidthDegradeAndRestore)
+{
+    Testbed tb(ioctopusCfg());
+    FaultPlan plan;
+    plan.pcieWidthDegrade(fromMs(1), 1, 2, 0.5).pcieRestore(fromMs(2), 1);
+    Injector inj(tb.sim(), {&tb.serverNic(), nullptr, nullptr}, plan);
+    inj.start();
+
+    tb.runFor(fromMs(1) + fromUs(1));
+    EXPECT_EQ(tb.serverNic().function(1).operLanes(), 2);
+    EXPECT_DOUBLE_EQ(tb.serverNic().function(1).genScale(), 0.5);
+    tb.runFor(fromMs(1));
+    EXPECT_EQ(tb.serverNic().function(1).operLanes(), 8);
+    EXPECT_DOUBLE_EQ(tb.serverNic().function(1).genScale(), 1.0);
+    EXPECT_EQ(tb.serverNic().function(1).degradeEvents(), 2u);
+}
+
+TEST(Injector, PfKillNotifiesDriverSilentLinkDownDoesNot)
+{
+    Testbed tb(ioctopusCfg());
+    FaultPlan plan;
+    plan.pcieLinkDown(fromMs(1), 0) // silent: no hotplug event
+        .pcieLinkUp(fromMs(2), 0)
+        .pfKill(fromMs(3), 1)
+        .pfRecover(fromMs(5), 1);
+    Injector inj(tb.sim(), {&tb.serverNic(), nullptr, nullptr}, plan);
+    inj.start();
+
+    tb.runFor(fromMs(10));
+    EXPECT_EQ(tb.serverNic().pfKills(), 1u);
+    EXPECT_EQ(tb.serverNic().pfRecoveries(), 1u);
+    EXPECT_TRUE(tb.serverNic().function(1).linkUp());
+}
+
+TEST(Injector, QueueStallAndQpiAndIrqKinds)
+{
+    Testbed tb(ioctopusCfg());
+    FaultPlan plan;
+    plan.queueStall(fromMs(1), 0, fromUs(50))
+        .qpiDegrade(fromMs(2), 0.25)
+        .qpiRestore(fromMs(3))
+        .irqDelay(fromMs(4), fromUs(20))
+        .irqDrop(fromMs(4), 4)
+        .irqRestore(fromMs(5));
+    Injector inj(tb.sim(),
+                 {&tb.serverNic(), &tb.serverStack(), &tb.server()},
+                 plan);
+    inj.start();
+
+    tb.runFor(fromMs(2) + fromUs(1));
+    EXPECT_EQ(tb.serverNic().queueStallEvents(), 1u);
+    EXPECT_DOUBLE_EQ(tb.server().qpiScale(), 0.25);
+    tb.runFor(fromMs(2));
+    EXPECT_DOUBLE_EQ(tb.server().qpiScale(), 1.0);
+    tb.runFor(fromMs(2));
+    EXPECT_TRUE(inj.done());
+    EXPECT_EQ(inj.applied(), 6u);
+    EXPECT_EQ(tb.server().qpiDegradeEvents(), 2u);
+}
+
+TEST(Injector, AbsentTargetsCountAsSkipped)
+{
+    Testbed tb(ioctopusCfg());
+    FaultPlan plan;
+    plan.pfKill(fromMs(1), 0).qpiDegrade(fromMs(1), 0.5).irqDrop(
+        fromMs(1), 2);
+    Injector inj(tb.sim(), {}, plan); // no targets at all
+    inj.start();
+
+    tb.runFor(fromMs(2));
+    EXPECT_TRUE(inj.done());
+    EXPECT_EQ(inj.applied(), 0u);
+    EXPECT_EQ(inj.skipped(), 3u);
+}
+
+} // namespace
+} // namespace octo::fault

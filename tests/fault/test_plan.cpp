@@ -1,0 +1,109 @@
+/**
+ * @file
+ * FaultPlan unit tests: builder field mapping, schedule ordering, and
+ * seed determinism of randomized plans.
+ */
+#include <gtest/gtest.h>
+
+#include "fault/plan.hpp"
+
+namespace octo::fault {
+namespace {
+
+using sim::fromMs;
+using sim::fromUs;
+
+TEST(FaultPlan, BuildersMapFields)
+{
+    FaultPlan plan;
+    plan.pfKill(fromMs(1), 1)
+        .pcieWidthDegrade(fromMs(2), 0, 2, 0.5)
+        .queueStall(fromMs(3), 7, fromUs(40))
+        .qpiDegrade(fromMs(4), 0.25)
+        .irqDrop(fromMs(5), 3)
+        .irqDelay(fromMs(6), fromUs(100));
+    const auto evs = plan.events();
+    ASSERT_EQ(evs.size(), 6u);
+
+    EXPECT_EQ(evs[0].kind, FaultKind::PfKill);
+    EXPECT_EQ(evs[0].target, 1);
+
+    EXPECT_EQ(evs[1].kind, FaultKind::PcieWidthDegrade);
+    EXPECT_EQ(evs[1].target, 0);
+    EXPECT_EQ(evs[1].arg, 2);
+    EXPECT_DOUBLE_EQ(evs[1].scale, 0.5);
+
+    EXPECT_EQ(evs[2].kind, FaultKind::QueueStall);
+    EXPECT_EQ(evs[2].target, 7);
+    EXPECT_EQ(evs[2].duration, fromUs(40));
+
+    EXPECT_DOUBLE_EQ(evs[3].scale, 0.25);
+    EXPECT_EQ(evs[4].arg, 3);
+    EXPECT_EQ(evs[5].duration, fromUs(100));
+}
+
+TEST(FaultPlan, EventsSortedByTimeStableOnTies)
+{
+    FaultPlan plan;
+    plan.pfRecover(fromMs(9), 0)
+        .pfKill(fromMs(1), 0)
+        .qpiDegrade(fromMs(1), 0.5) // same tick as the kill
+        .queueStall(fromMs(4), 0, fromUs(10));
+    const auto evs = plan.events();
+    ASSERT_EQ(evs.size(), 4u);
+    EXPECT_EQ(evs[0].kind, FaultKind::PfKill);
+    EXPECT_EQ(evs[1].kind, FaultKind::QpiDegrade); // insertion order kept
+    EXPECT_EQ(evs[2].kind, FaultKind::QueueStall);
+    EXPECT_EQ(evs[3].kind, FaultKind::PfRecover);
+}
+
+TEST(FaultPlan, RandomizedIsSeedDeterministic)
+{
+    const auto a = FaultPlan::randomized(42, fromMs(100), 2, 8);
+    const auto b = FaultPlan::randomized(42, fromMs(100), 2, 8);
+    const auto c = FaultPlan::randomized(43, fromMs(100), 2, 8);
+
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.events(), b.events());
+    EXPECT_NE(a.events(), c.events());
+}
+
+TEST(FaultPlan, RandomizedStaysInsideHorizonAndTargets)
+{
+    const int pfs = 2;
+    const int queues = 8;
+    const auto plan =
+        FaultPlan::randomized(7, fromMs(50), pfs, queues, 12);
+    EXPECT_GE(plan.size(), 12u); // at least one event per episode
+    for (const auto& ev : plan.events()) {
+        EXPECT_GE(ev.at, 0);
+        EXPECT_LT(ev.at, fromMs(50));
+        switch (ev.kind) {
+        case FaultKind::PfKill:
+        case FaultKind::PfRecover:
+        case FaultKind::PcieWidthDegrade:
+        case FaultKind::PcieRestore:
+            EXPECT_LT(ev.target, pfs);
+            break;
+        case FaultKind::QueueStall:
+            EXPECT_LT(ev.target, queues);
+            break;
+        default:
+            break;
+        }
+    }
+}
+
+TEST(FaultPlan, KindNamesAreUniqueAndNonNull)
+{
+    for (int i = 0; i < kFaultKindCount; ++i) {
+        const char* name = kindName(static_cast<FaultKind>(i));
+        ASSERT_NE(name, nullptr);
+        EXPECT_STRNE(name, "unknown");
+        for (int j = 0; j < i; ++j)
+            EXPECT_STRNE(name, kindName(static_cast<FaultKind>(j)));
+    }
+}
+
+} // namespace
+} // namespace octo::fault

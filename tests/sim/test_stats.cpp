@@ -2,6 +2,8 @@
  * @file
  * Unit tests for counters, accumulators, distributions, and RNG.
  */
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "sim/rng.hpp"
@@ -49,6 +51,20 @@ TEST(Distribution, PercentilesOnUniformRamp)
     EXPECT_NEAR(d.percentile(99), 99.0, 1.5);
     EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
     EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+}
+
+TEST(Distribution, EmptyQueriesReturnNaN)
+{
+    Distribution d;
+    EXPECT_TRUE(std::isnan(d.mean()));
+    EXPECT_TRUE(std::isnan(d.min()));
+    EXPECT_TRUE(std::isnan(d.max()));
+    EXPECT_TRUE(std::isnan(d.percentile(50)));
+    // ...and reset() returns a populated distribution to that state.
+    d.sample(1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 1.0);
+    d.reset();
+    EXPECT_TRUE(std::isnan(d.percentile(99)));
 }
 
 TEST(Distribution, ThinningKeepsApproximatePercentiles)

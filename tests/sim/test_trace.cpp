@@ -2,6 +2,9 @@
  * @file
  * Tests for the time-series telemetry sampler.
  */
+#include <cstdio>
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 #include "sim/trace.hpp"
@@ -87,6 +90,60 @@ TEST(TimeSeries, TimeAxis)
     ASSERT_EQ(ts.sampleCount(), 3u);
     EXPECT_EQ(ts.timeAt(0), fromMs(7));
     EXPECT_EQ(ts.timeAt(2), fromMs(11));
+}
+
+TEST(TimeSeries, ProbeRegistration)
+{
+    Simulator sim;
+    std::uint64_t a = 0, b = 0;
+    TimeSeries ts(sim, fromMs(1));
+    EXPECT_EQ(ts.probeCount(), 0u);
+    ts.addProbe("pf0", [&] { return a; });
+    ts.addProbe("pf1", [&] { return b; });
+    ASSERT_EQ(ts.probeCount(), 2u);
+    EXPECT_EQ(ts.probeName(0), "pf0");
+    EXPECT_EQ(ts.probeName(1), "pf1");
+    EXPECT_THROW(static_cast<void>(ts.probeName(2)), std::out_of_range);
+}
+
+TEST(TimeSeries, CsvExportRoundTrip)
+{
+    Simulator sim;
+    std::uint64_t a = 0, b = 0;
+    TimeSeries ts(sim, fromMs(1));
+    ts.addProbe("rx", [&] { return a; });
+    ts.addProbe("tx", [&] { return b; });
+    ts.start();
+    // 1.25 MB/ms = 10 Gb/s on rx in window 0; 2.5 MB/ms = 20 Gb/s on
+    // tx in window 1.
+    sim.schedule(fromUs(500), [&] { a = 1'250'000; });
+    sim.schedule(fromUs(1500), [&] { b = 2'500'000; });
+    sim.runUntil(fromMs(2));
+    ASSERT_EQ(ts.sampleCount(), 2u);
+
+    std::FILE* f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    ts.writeCsv(f);
+    std::rewind(f);
+
+    char header[128];
+    ASSERT_NE(std::fgets(header, sizeof header, f), nullptr);
+    EXPECT_STREQ(header, "time_ms,rx_gbps,tx_gbps\n");
+
+    // Parse each row back and compare against the in-memory series.
+    for (std::size_t i = 0; i < ts.sampleCount(); ++i) {
+        double t = 0, rx = 0, tx = 0;
+        ASSERT_EQ(std::fscanf(f, "%lf,%lf,%lf\n", &t, &rx, &tx), 3)
+            << "row " << i;
+        EXPECT_NEAR(t, toMs(ts.timeAt(i)), 1e-3);
+        EXPECT_NEAR(rx, ts.gbpsAt(0, i), 1e-3);
+        EXPECT_NEAR(tx, ts.gbpsAt(1, i), 1e-3);
+    }
+    EXPECT_EQ(std::fgetc(f), EOF); // no extra rows
+    std::fclose(f);
+
+    EXPECT_DOUBLE_EQ(ts.gbpsAt(0, 0), 10.0);
+    EXPECT_DOUBLE_EQ(ts.gbpsAt(1, 1), 20.0);
 }
 
 } // namespace
