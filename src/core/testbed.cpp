@@ -57,6 +57,14 @@ Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
             cfg_.faults);
         injector_->start();
     }
+
+    // Health monitoring rides on the team driver: only the Ioctopus
+    // preset has one netdev spanning both PFs to re-steer between.
+    if (cfg_.healthMonitor && cfg_.mode == ServerMode::Ioctopus) {
+        monitor_ = std::make_unique<health::HealthMonitor>(
+            *serverNic_, *serverStacks_.at(0), cfg_.health);
+        monitor_->start();
+    }
 }
 
 Testbed::~Testbed() = default;

@@ -27,6 +27,7 @@
 
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
+#include "health/monitor.hpp"
 #include "nic/device.hpp"
 #include "nic/wire.hpp"
 #include "os/netstack.hpp"
@@ -76,6 +77,15 @@ struct TestbedConfig
      *  retry worker is enabled on both hosts' stacks, and Ioctopus mode
      *  additionally arms team-driver PF failover. */
     fault::FaultPlan faults;
+
+    /** Attach a HealthMonitor to the server team device (Ioctopus mode
+     *  only): PF sickness — degraded width/gen, stalls, link loss — is
+     *  answered with weighted flow re-steering instead of the plain
+     *  driver's alive-or-dead failover. */
+    bool healthMonitor = false;
+
+    /** Monitor tunables (thresholds, hysteresis, probation backoff). */
+    health::HealthConfig health;
 };
 
 /** A connected TCP/UDP endpoint pair plus thread contexts. */
@@ -124,6 +134,9 @@ class Testbed
 
     /** The fault injector; null when the config's plan is empty. */
     fault::Injector* injector() { return injector_.get(); }
+
+    /** The server-side health monitor; null unless configured. */
+    health::HealthMonitor* monitor() { return monitor_.get(); }
 
     /**
      * The node the server workload should run on for this preset:
@@ -175,6 +188,7 @@ class Testbed
     std::vector<std::unique_ptr<os::NetStack>> serverStacks_;
     std::unique_ptr<os::NetStack> clientStack_;
     std::unique_ptr<fault::Injector> injector_;
+    std::unique_ptr<health::HealthMonitor> monitor_;
 
     std::uint16_t nextPort_ = 2000;
 };

@@ -186,6 +186,20 @@ class FaultPlan
                                 int pf_count, int queue_count,
                                 int episodes = 8);
 
+    /**
+     * Wider-spectrum soak schedule for invariant testing: like
+     * randomized() but drawing from six fault families — PF kill,
+     * width *and gen* degradation, silent link flap, queue stall, QPI
+     * degradation, and interrupt loss/delay. Every episode heals inside
+     * its own horizon slice, so a plan that has fully replayed leaves
+     * the system nominally fault-free: whatever credits or bytes are
+     * still missing at quiescence are a driver leak, not a pending
+     * outage.
+     */
+    static FaultPlan randomStress(std::uint64_t seed, sim::Tick horizon,
+                                  int pf_count, int queue_count,
+                                  int episodes = 10);
+
   private:
     std::vector<FaultEvent> events_;
 };

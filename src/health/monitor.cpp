@@ -1,0 +1,121 @@
+#include "health/monitor.hpp"
+
+#include "nic/device.hpp"
+#include "os/netstack.hpp"
+
+namespace octo::health {
+
+HealthMonitor::HealthMonitor(nic::NicDevice& device, os::NetStack& stack,
+                             HealthConfig cfg)
+    : device_(device), stack_(stack), cfg_(cfg)
+{
+    const auto& cal = device_.host().cal();
+    scores_.reserve(device_.functionCount());
+    for (int i = 0; i < device_.functionCount(); ++i) {
+        scores_.emplace_back(cfg_,
+                             device_.function(i).lanes() *
+                                 cal.pcieLaneGbps);
+        base_.push_back({});
+    }
+    lastTarget_.resize(device_.queueCount());
+    for (int q = 0; q < device_.queueCount(); ++q)
+        lastTarget_[q] = device_.queue(q).homePf->id();
+}
+
+void
+HealthMonitor::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    stack_.setWeightedSteering(true);
+    task_ = run();
+}
+
+std::vector<double>
+HealthMonitor::weights() const
+{
+    std::vector<double> w;
+    w.reserve(scores_.size());
+    for (const auto& s : scores_)
+        w.push_back(s.weight());
+    return w;
+}
+
+sim::Task<>
+HealthMonitor::run()
+{
+    sim::Simulator& sim = device_.host().sim();
+    for (;;) {
+        co_await sim::delay(sim, cfg_.samplePeriod);
+        bool changed = false;
+        for (std::size_t i = 0; i < scores_.size(); ++i) {
+            pcie::PciFunction& pf =
+                device_.function(static_cast<int>(i));
+            const std::uint64_t errors =
+                pf.correctableErrors() + pf.uncorrectableErrors() +
+                device_.pfDeadDrops(static_cast<int>(i)) +
+                device_.pfTxAborts(static_cast<int>(i));
+            const std::uint64_t stalls =
+                device_.pfStallEvents(static_cast<int>(i));
+
+            HealthSample s;
+            s.now = sim.now();
+            s.linkUp = pf.linkUp();
+            s.bwFraction = pf.bwFraction();
+            s.errorDelta = errors - base_[i].errors;
+            s.stallDelta = stalls - base_[i].stalls;
+            base_[i].errors = errors;
+            base_[i].stalls = stalls;
+
+            changed |= scores_[i].observe(s);
+            ++samples_;
+        }
+        if (changed)
+            applyWeights();
+    }
+}
+
+void
+HealthMonitor::applyWeights()
+{
+    ++verdicts_;
+    const std::vector<double> w = weights();
+
+    // Group queues by home PF so keepSlot sees a stable per-group index.
+    for (std::size_t pf = 0; pf < w.size(); ++pf) {
+        // Strongest alternative endpoint for this group's spillover.
+        int alt = -1;
+        for (std::size_t o = 0; o < w.size(); ++o) {
+            if (o != pf && (alt < 0 || w[o] > w[alt]))
+                alt = static_cast<int>(o);
+        }
+        const double share =
+            alt >= 0 ? keepLocalShare(w[pf], w[alt]) : 1.0;
+
+        int slot = 0;
+        int group = 0;
+        for (int q = 0; q < device_.queueCount(); ++q) {
+            if (device_.queue(q).homePf->id() == static_cast<int>(pf))
+                ++group;
+        }
+        for (int q = 0; q < device_.queueCount(); ++q) {
+            if (device_.queue(q).homePf->id() != static_cast<int>(pf))
+                continue;
+            int target = static_cast<int>(pf);
+            if (!keepSlot(slot, group, share) && alt >= 0 && w[alt] > 0)
+                target = alt;
+            // A dead home PF with no live alternative keeps its queues:
+            // there is nothing better to steer to (total outage).
+            if (w[pf] <= 0 && alt >= 0 && w[alt] > 0)
+                target = alt;
+            ++slot;
+            if (target == lastTarget_[q])
+                continue;
+            lastTarget_[q] = target;
+            stack_.resteerQueue(q, target);
+        }
+    }
+}
+
+} // namespace octo::health

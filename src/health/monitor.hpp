@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Health monitor: a simulator task that keeps one HealthScore per PCIe
+ * function of a team device and drives weighted flow re-steering.
+ *
+ * Every samplePeriod the monitor reads the counters the model exposes
+ * for health purposes — link state, operational width/gen fraction and
+ * AER error counts from pcie::PciFunction, per-PF dead-PF drops, Tx
+ * aborts and queue-stall events from nic::NicDevice — and feeds each
+ * PF's deltas to its HealthScore. When any verdict changes, the monitor
+ * recomputes the per-queue PF targets (keepLocalShare over the current
+ * weights, spread deterministically with keepSlot) and asks the team
+ * driver (os::NetStack) to re-steer the queues whose target moved. The
+ * driver performs each re-steer as a drain-then-rebind guarded by a
+ * watchdog, so a stalled queue delays at most one watchdog period.
+ *
+ * The monitor replaces the all-or-nothing PF failover of the plain team
+ * driver: attaching it switches the stack into weighted-steering mode
+ * (NetStack::setWeightedSteering), after which hot-unplug events are
+ * observed through the same sampling path as degradations.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "health/score.hpp"
+#include "sim/task.hpp"
+
+namespace octo::nic {
+class NicDevice;
+}
+namespace octo::os {
+class NetStack;
+}
+
+namespace octo::health {
+
+class HealthMonitor
+{
+  public:
+    HealthMonitor(nic::NicDevice& device, os::NetStack& stack,
+                  HealthConfig cfg = {});
+
+    /** Spawn the sampling task (idempotent). */
+    void start();
+
+    const HealthConfig& config() const { return cfg_; }
+
+    HealthState state(int pf) const { return scores_.at(pf).state(); }
+    double weight(int pf) const { return scores_.at(pf).weight(); }
+    const HealthScore& score(int pf) const { return scores_.at(pf); }
+
+    /** Samples taken across all PFs. */
+    std::uint64_t samples() const { return samples_; }
+
+    /** Weight applications pushed to the driver (each may re-steer
+     *  several queues). Bounded-flap tests assert on this. */
+    std::uint64_t verdicts() const { return verdicts_; }
+
+    /** Current steering weights, one per PF. */
+    std::vector<double> weights() const;
+
+  private:
+    sim::Task<> run();
+    void applyWeights();
+
+    /** Per-PF cumulative error/stall counters at the last sample. */
+    struct PfBaseline
+    {
+        std::uint64_t errors = 0;
+        std::uint64_t stalls = 0;
+    };
+
+    nic::NicDevice& device_;
+    os::NetStack& stack_;
+    HealthConfig cfg_;
+    std::vector<HealthScore> scores_;
+    std::vector<PfBaseline> base_;
+    std::vector<int> lastTarget_; ///< Last PF target pushed per queue.
+    sim::Task<> task_;
+    bool started_ = false;
+    std::uint64_t samples_ = 0;
+    std::uint64_t verdicts_ = 0;
+};
+
+} // namespace octo::health

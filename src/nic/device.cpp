@@ -18,6 +18,7 @@ NicDevice::addFunction(int node, int lanes)
     const int id = static_cast<int>(pfs_.size());
     pfs_.push_back(std::make_unique<pcie::PciFunction>(
         host_, node, lanes, id, name_ + ".pf" + std::to_string(id)));
+    pfStats_.push_back({});
     return *pfs_.back();
 }
 
@@ -52,7 +53,7 @@ NicDevice::steerFlow(const FiveTuple& flow, int qid)
 }
 
 void
-NicDevice::clearFlow(const FiveTuple& flow)
+NicDevice::unsteerFlow(const FiveTuple& flow)
 {
     steering_.erase(flow);
 }
@@ -106,6 +107,7 @@ NicDevice::rxPath(Frame f)
         // reclaim the in-flight window instead of leaking it.
         ++rxDrops_;
         ++deadPfDrops_;
+        ++pfStats_.at(q.pf->id()).deadDrops;
         if (sink_ != nullptr)
             sink_->frameLost(f.flow, f.payloadBytes);
         co_return;
@@ -191,6 +193,7 @@ NicDevice::stallQueue(int qid, Tick duration)
     const Tick until = sim_.now() + duration;
     q.stalledUntil = std::max(q.stalledUntil, until);
     ++queueStallEvents_;
+    ++pfStats_.at(q.pf->id()).stallEvents;
 }
 
 Task<>
@@ -205,6 +208,7 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
         // skb is freed rather than leaked; the payload never reaches the
         // wire, so the sink records the loss for window reclamation.
         ++txAborts_;
+        ++pfStats_.at(q.pf->id()).txAborts;
         if (sink_ != nullptr)
             sink_->frameLost(d.flow, d.bytes);
         TxCompletion tc;
@@ -314,6 +318,12 @@ std::uint64_t
 NicDevice::pfRxBytes(int idx) const
 {
     return pfs_.at(idx)->toHost().totalBytes();
+}
+
+std::uint64_t
+NicDevice::pfTxBytes(int idx) const
+{
+    return pfs_.at(idx)->fromHost().totalBytes();
 }
 
 } // namespace octo::nic

@@ -199,8 +199,12 @@ class NicDevice
      */
     void steerFlow(const FiveTuple& flow, int qid);
 
-    /** Remove a steering rule (rule expiry). */
-    void clearFlow(const FiveTuple& flow);
+    /** Remove a steering rule (driver rule expiry, §4.2): the flow's
+     *  next frames fall back to RSS until a new rule is installed. */
+    void unsteerFlow(const FiveTuple& flow);
+
+    /** Installed steering rules (expiry tests / table-pressure gauge). */
+    std::size_t steeringRuleCount() const { return steering_.size(); }
 
     /** Queue a frame arriving for @p flow would be steered to now. */
     int classify(const FiveTuple& flow) const;
@@ -244,7 +248,41 @@ class NicDevice
      *  the per-PF throughput series of Fig. 14. */
     std::uint64_t pfRxBytes(int idx) const;
 
+    /** Cumulative DMA-read (host-to-device) bytes through PF @p idx. */
+    std::uint64_t pfTxBytes(int idx) const;
+
+    // ------------------------------------------- per-PF health counters
+    /** Rx frames dropped on PF @p idx because its link was down. */
+    std::uint64_t
+    pfDeadDrops(int idx) const
+    {
+        return pfStats_.at(idx).deadDrops;
+    }
+
+    /** Tx descriptors aborted on PF @p idx. */
+    std::uint64_t
+    pfTxAborts(int idx) const
+    {
+        return pfStats_.at(idx).txAborts;
+    }
+
+    /** Stall fault events applied to queues bound to PF @p idx. */
+    std::uint64_t
+    pfStallEvents(int idx) const
+    {
+        return pfStats_.at(idx).stallEvents;
+    }
+
   private:
+    /** Per-PF slice of the fault counters (the health monitor samples
+     *  these to attribute sickness to an endpoint). */
+    struct PfFaultStats
+    {
+        std::uint64_t deadDrops = 0;
+        std::uint64_t txAborts = 0;
+        std::uint64_t stallEvents = 0;
+    };
+
     Task<> rxPath(Frame f);
     Task<> txEngine(int qid);
     Task<> txProcess(NicQueue& q, TxDesc d);
@@ -257,6 +295,7 @@ class NicDevice
     sim::Simulator& sim_;
 
     std::vector<std::unique_ptr<pcie::PciFunction>> pfs_;
+    std::vector<PfFaultStats> pfStats_;
     std::vector<std::unique_ptr<NicQueue>> queues_;
     std::vector<NetdevView> netdevs_;
     std::unordered_map<FiveTuple, int> steering_;

@@ -349,8 +349,58 @@ NetStack::pfStateChanged(int pf_idx, bool up)
 }
 
 void
+NetStack::resteerQueue(int qid, int pf_idx)
+{
+    const std::uint64_t epoch = ++resteerEpoch_[qid];
+    drainAndRebind(qid, pf_idx, epoch).detach();
+}
+
+sim::Task<bool>
+NetStack::drainQueue(int qid)
+{
+    // Evacuation discipline: let the completions already posted behind
+    // the old binding be reaped so no flow observes reordering across
+    // the rebind. A stalled queue would block this forever — the
+    // watchdog converts "wedged driver" into "bounded reordering risk".
+    nic::NicQueue& q = device_.queue(qid);
+    const std::uint64_t target = q.rxReaped + q.rxCq.size();
+    const Tick deadline = sim_.now() + cfg_.steerWatchdog;
+    while (q.rxReaped < target) {
+        if (sim_.now() >= deadline) {
+            steerWatchdogFires_.add();
+            co_return false;
+        }
+        co_await delay(sim_, fromUs(5));
+    }
+    co_return true;
+}
+
+sim::Task<>
+NetStack::drainAndRebind(int qid, int pf_idx, std::uint64_t epoch)
+{
+    // Firmware RPC reprogramming the queue context (same kernel-worker
+    // latency as a steering-table update).
+    co_await delay(sim_, machine_.cal().arfsUpdateDelay);
+    if (resteerEpoch_[qid] != epoch)
+        co_return; // superseded by a newer verdict
+    co_await drainQueue(qid);
+    if (resteerEpoch_[qid] != epoch)
+        co_return;
+    pcie::PciFunction* pf = &device_.function(pf_idx);
+    if (device_.queue(qid).pf == pf)
+        co_return;
+    device_.rebindQueue(qid, *pf);
+    healthResteers_.add();
+}
+
+void
 NetStack::applyPfEvent(int pf_idx, bool up)
 {
+    // A health monitor owns PF verdicts in weighted-steering mode; the
+    // all-or-nothing failover below would fight its gradual probation
+    // rebalance (and double-rebind queues), so it stands down.
+    if (weightedSteering_)
+        return;
     nic::NicDevice& dev = device_;
     if (!up) {
         if (dev.function(pf_idx).linkUp())
@@ -583,7 +633,7 @@ NetStack::expiryWorker()
             if (s->lastRxCore < 0)
                 continue;
             if (sim_.now() - s->lastRxAt > cfg_.steerExpiry) {
-                device_.clearFlow(s->rxFlow);
+                device_.unsteerFlow(s->rxFlow);
                 s->lastRxCore = -1; // next recv re-installs
                 ++steeringExpiries_;
             }
@@ -618,10 +668,10 @@ NetStack::applySteer(nic::FiveTuple flow, int old_qid, int new_qid)
     // update have been processed (the ooo_okay/drain discipline). Under
     // continuous load the queue is never *empty*, so wait for the
     // completion counter to pass the snapshot instead.
-    nic::NicQueue& old_q = device_.queue(old_qid);
-    const std::uint64_t target = old_q.rxReaped + old_q.rxCq.size();
-    while (old_q.rxReaped < target)
-        co_await delay(sim_, fromUs(5));
+    // The wait is watchdog-bounded: a stalled source queue must not
+    // wedge the steering worker (the rule is applied anyway, accepting
+    // a transient reordering window).
+    co_await drainQueue(old_qid);
     device_.steerFlow(flow, new_qid);
 }
 

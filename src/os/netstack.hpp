@@ -65,6 +65,12 @@ struct StackConfig
     /** Softirq watchdog: a lost interrupt's queue is polled after this
      *  delay (NAPI watchdog semantics), bounding IRQ-loss outages. */
     sim::Tick irqWatchdog = sim::fromUs(500);
+
+    /** Watchdog timeout on every blocking driver operation (steering
+     *  RPC drain, queue evacuation before a rebind). A stalled queue
+     *  can therefore delay a re-steer by at most this long — it can
+     *  never wedge the driver. */
+    sim::Tick steerWatchdog = sim::fromMs(5);
 };
 
 /**
@@ -149,6 +155,25 @@ class NetStack : public nic::NicSink
      *  recovered by the softirq watchdog poll. */
     void setIrqDropEvery(int n) { irqDropEvery_ = n; }
 
+    // --------------------------------------- health-driven re-steering
+    /**
+     * Weighted-steering mode: a HealthMonitor owns PF verdicts, so the
+     * stack's own all-or-nothing hot-unplug failover stands down (the
+     * monitor observes link loss as weight 0 and re-steers through the
+     * same weighted path).
+     */
+    void setWeightedSteering(bool on) { weightedSteering_ = on; }
+    bool weightedSteering() const { return weightedSteering_; }
+
+    /**
+     * Re-steer queue @p qid's DMA behind PF @p pf_idx: issue the
+     * firmware RPC, drain the in-flight completions of the old binding
+     * (bounded by the steerWatchdog), then rebind. A newer re-steer for
+     * the same queue supersedes an in-flight one (epoch check), so
+     * verdict churn cannot interleave stale rebinds.
+     */
+    void resteerQueue(int qid, int pf_idx);
+
     // ------------------------------------------------------- statistics
     std::uint64_t rxPacketsProcessed() const { return rxPackets_; }
     std::uint64_t rxBytesDelivered() const { return rxBytesDelivered_; }
@@ -159,6 +184,18 @@ class NetStack : public nic::NicSink
     /** Queues failed over to a surviving PF / rebalanced back home. */
     std::uint64_t pfFailovers() const { return pfFailovers_.value(); }
     std::uint64_t pfRebalances() const { return pfRebalances_.value(); }
+
+    /** Health-driven weighted queue re-steers (each resteerQueue call
+     *  that actually rebound a queue). */
+    std::uint64_t healthResteers() const { return healthResteers_.value(); }
+
+    /** Blocking driver operations cut short by the steering watchdog
+     *  (stalled queue refused to drain in time). */
+    std::uint64_t
+    steerWatchdogFires() const
+    {
+        return steerWatchdogFires_.value();
+    }
 
     /** Device-loss accounting (see Socket loss ledger). */
     std::uint64_t lostFrames() const { return lostFrames_.value(); }
@@ -182,6 +219,14 @@ class NetStack : public nic::NicSink
 
     /** Act on a PF death/recovery after the detection delay. */
     void applyPfEvent(int pf_idx, bool up);
+
+    /** Drain queue @p qid's old binding (watchdog-bounded) and rebind
+     *  it to @p pf_idx, unless superseded by epoch @p epoch moving on. */
+    sim::Task<> drainAndRebind(int qid, int pf_idx, std::uint64_t epoch);
+
+    /** Watchdog-bounded wait for @p qid's pre-snapshot Rx backlog to be
+     *  reaped; true when drained, false when the watchdog fired. */
+    sim::Task<bool> drainQueue(int qid);
 
     /** IRQ fault filter: true if the interrupt was dropped (a watchdog
      *  poll of @p qid has been scheduled); otherwise adds any
@@ -221,8 +266,12 @@ class NetStack : public nic::NicSink
     sim::Tick irqExtraDelay_ = 0;
     int irqDropEvery_ = 0;
     std::uint64_t irqSeen_ = 0;
+    bool weightedSteering_ = false;
+    std::unordered_map<int, std::uint64_t> resteerEpoch_;
     sim::Counter pfFailovers_;
     sim::Counter pfRebalances_;
+    sim::Counter healthResteers_;
+    sim::Counter steerWatchdogFires_;
     sim::Counter lostFrames_;
     sim::Counter lostBytes_;
     sim::Counter reclaimedBytes_;

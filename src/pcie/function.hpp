@@ -69,10 +69,13 @@ class PciFunction
         if (linkUp_ == up)
             return;
         linkUp_ = up;
-        if (up)
+        if (up) {
             ++linkUpEvents_;
-        else
+        } else {
             ++linkDownEvents_;
+            // Surprise link loss surfaces as an uncorrectable AER error.
+            ++uncorrectableErrors_;
+        }
     }
 
     /**
@@ -85,6 +88,9 @@ class PciFunction
     {
         operLanes_ = std::max(1, std::min(lanes, lanes_));
         ++degradeEvents_;
+        // A retrain to fewer lanes is preceded by a correctable-error
+        // burst (replay timeouts on the failed lanes).
+        ++correctableErrors_;
         applyRate();
     }
 
@@ -95,6 +101,7 @@ class PciFunction
     {
         genScale_ = std::min(1.0, std::max(0.01, scale));
         ++degradeEvents_;
+        ++correctableErrors_;
         applyRate();
     }
 
@@ -113,6 +120,33 @@ class PciFunction
     std::uint64_t linkDownEvents() const { return linkDownEvents_; }
     std::uint64_t linkUpEvents() const { return linkUpEvents_; }
     std::uint64_t degradeEvents() const { return degradeEvents_; }
+
+    // ------------------------------------------------- health telemetry
+    /** Effective bandwidth as a fraction of nominal: (operational
+     *  lanes / nominal lanes) x gen-rate fraction. A downed link still
+     *  reports its trained fraction — liveness is linkUp()'s job. */
+    double
+    bwFraction() const
+    {
+        return static_cast<double>(operLanes_) / lanes_ * genScale_;
+    }
+
+    /** Effective link bandwidth in Gb/s at the current width and gen. */
+    double
+    effectiveGbps() const
+    {
+        return operLanes_ * host_.cal().pcieLaneGbps * genScale_;
+    }
+
+    /** AER correctable error count (replay/retrain events). */
+    std::uint64_t correctableErrors() const { return correctableErrors_; }
+
+    /** AER uncorrectable error count (surprise link loss). */
+    std::uint64_t
+    uncorrectableErrors() const
+    {
+        return uncorrectableErrors_;
+    }
 
     /** Device-to-host direction (DMA writes). */
     sim::Pipe& toHost() { return toHost_; }
@@ -219,6 +253,8 @@ class PciFunction
     std::uint64_t linkDownEvents_ = 0;
     std::uint64_t linkUpEvents_ = 0;
     std::uint64_t degradeEvents_ = 0;
+    std::uint64_t correctableErrors_ = 0;
+    std::uint64_t uncorrectableErrors_ = 0;
 };
 
 } // namespace octo::pcie

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Randomized fault soak: a wide-spectrum randomStress schedule (PF
+ * kills, width+gen retrains, silent link flaps, queue stalls, QPI
+ * degradation, interrupt faults) is replayed under every server mode
+ * while a finite transfer runs. At quiescence the driver must show the
+ * zero-leak credit invariant — the sender's window is exactly full
+ * again — and byte conservation: every sent byte was delivered, still
+ * buffered, or accounted lost with its credit reclaimed.
+ */
+#include <cstdint>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "fault/plan.hpp"
+#include "sim/task.hpp"
+
+namespace octo::fault {
+namespace {
+
+using core::ServerMode;
+using core::Testbed;
+using core::TestbedConfig;
+using sim::Task;
+using sim::fromMs;
+using sim::spawn;
+
+class FaultSoak
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>>
+{
+};
+
+TEST_P(FaultSoak, RandomStressLeaksNothingAtQuiescence)
+{
+    const auto mode = static_cast<ServerMode>(std::get<0>(GetParam()));
+    const std::uint64_t seed = std::get<1>(GetParam());
+
+    TestbedConfig cfg;
+    cfg.mode = mode;
+    // Every fault heals inside its slice of the 30 ms horizon, so after
+    // it the system is nominally fault-free and the transfer can finish.
+    const int queues = cfg.cal.nodes * cfg.cal.coresPerNode;
+    cfg.faults = FaultPlan::randomStress(seed, fromMs(30), 2, queues);
+    ASSERT_FALSE(cfg.faults.empty());
+
+    Testbed tb(cfg);
+    auto server_t = tb.serverThread(tb.workNode(), 0);
+    auto client_t = tb.clientThread(0);
+    auto pair = tb.connect(server_t, client_t);
+
+    const std::uint64_t msg = 32u << 10;
+    const int reps = 6000; // ~192 MB: spans the whole fault horizon
+    auto sender = spawn([&]() -> Task<> {
+        for (int i = 0; i < reps; ++i) {
+            co_await pair.clientStack->send(pair.clientCtx,
+                                            *pair.clientSock, msg);
+        }
+    });
+    auto receiver = spawn([&]() -> Task<> {
+        for (;;) {
+            co_await pair.serverStack->recv(pair.serverCtx,
+                                            *pair.serverSock, msg);
+        }
+    });
+
+    tb.runFor(fromMs(200));
+    ASSERT_TRUE(tb.injector()->done());
+    ASSERT_TRUE(sender.done())
+        << "transfer wedged: a fault outlived its recovery path";
+    // Let retries and in-flight completions quiesce.
+    tb.runFor(fromMs(20));
+
+    const os::Socket& cs = *pair.clientSock;
+    const os::Socket& ss = *pair.serverSock;
+
+    // Zero-leak credit invariant: every credit held by a lost frame was
+    // reclaimed, so the sender's window is exactly full again.
+    EXPECT_EQ(cs.reclaimedBytes, cs.lostTxBytes + ss.lostRxBytes);
+    EXPECT_EQ(cs.txWindow.count(),
+              static_cast<std::int64_t>(cs.windowBytes));
+
+    // Byte conservation: sent == delivered + still-buffered + lost.
+    EXPECT_EQ(msg * reps,
+              ss.bytesDelivered + ss.rxBytesAvail + cs.lostTxBytes +
+                  ss.lostRxBytes);
+    EXPECT_GT(ss.bytesDelivered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndSeeds, FaultSoak,
+    ::testing::Combine(
+        ::testing::Values(static_cast<int>(ServerMode::Local),
+                          static_cast<int>(ServerMode::Remote),
+                          static_cast<int>(ServerMode::Ioctopus)),
+        ::testing::Values(11ull, 23ull, 42ull)));
+
+} // namespace
+} // namespace octo::fault

@@ -101,8 +101,54 @@ TEST(NicDevice, SteeringRuleOverridesRss)
     f.server.addNetdev(20, qids);
     f.server.steerFlow(f.flow(), 3);
     EXPECT_EQ(f.server.classify(f.flow()), 3);
-    f.server.clearFlow(f.flow());
+    f.server.unsteerFlow(f.flow());
     EXPECT_NE(f.server.classify(f.flow()), -1); // falls back to RSS
+}
+
+TEST(NicDevice, UnsteerFlowRestoresRssVerdictAndEmptiesTable)
+{
+    Fixture f;
+    auto& pf = f.server.addFunction(0, 8);
+    std::vector<int> qids;
+    for (int i = 0; i < 4; ++i)
+        qids.push_back(f.server.addQueue(f.serverM.core(i), pf));
+    f.server.addNetdev(20, qids);
+
+    const int rss_q = f.server.classify(f.flow());
+    // Steer to a different queue than RSS would pick, then expire.
+    const int steered_q = (rss_q + 1) % 4;
+    f.server.steerFlow(f.flow(), steered_q);
+    EXPECT_EQ(f.server.steeringRuleCount(), 1u);
+    EXPECT_EQ(f.server.classify(f.flow()), steered_q);
+
+    f.server.unsteerFlow(f.flow());
+    EXPECT_EQ(f.server.steeringRuleCount(), 0u);
+    EXPECT_EQ(f.server.classify(f.flow()), rss_q);
+
+    // Expiring an absent rule is harmless (the expiry worker may race a
+    // just-expired flow), and re-installing works afterwards.
+    f.server.unsteerFlow(f.flow());
+    EXPECT_EQ(f.server.steeringRuleCount(), 0u);
+    f.server.steerFlow(f.flow(), steered_q);
+    EXPECT_EQ(f.server.classify(f.flow()), steered_q);
+}
+
+TEST(NicDevice, UnsteerFlowOnlyRemovesTheNamedFlow)
+{
+    Fixture f;
+    auto& pf = f.server.addFunction(0, 8);
+    std::vector<int> qids;
+    for (int i = 0; i < 4; ++i)
+        qids.push_back(f.server.addQueue(f.serverM.core(i), pf));
+    f.server.addNetdev(20, qids);
+
+    auto fl_a = f.flow(20, 1);
+    auto fl_b = f.flow(20, 2);
+    f.server.steerFlow(fl_a, 1);
+    f.server.steerFlow(fl_b, 2);
+    f.server.unsteerFlow(fl_a);
+    EXPECT_EQ(f.server.steeringRuleCount(), 1u);
+    EXPECT_EQ(f.server.classify(fl_b), 2);
 }
 
 TEST(NicDevice, NetdevSelectedByDestinationAddress)
