@@ -62,7 +62,7 @@ Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
     // preset has one netdev spanning both PFs to re-steer between.
     if (cfg_.healthMonitor && cfg_.mode == ServerMode::Ioctopus) {
         monitor_ = std::make_unique<health::HealthMonitor>(
-            *serverNic_, *serverStacks_.at(0), cfg_.health);
+            *serverStacks_.at(0), cfg_.health);
         monitor_->start();
     }
 }

@@ -17,6 +17,7 @@ kindName(FaultKind k)
     case FaultKind::PfKill: return "pf_kill";
     case FaultKind::PfRecover: return "pf_recover";
     case FaultKind::QueueStall: return "queue_stall";
+    case FaultKind::QueuePoison: return "queue_poison";
     case FaultKind::QpiDegrade: return "qpi_degrade";
     case FaultKind::QpiRestore: return "qpi_restore";
     case FaultKind::IrqDelay: return "irq_delay";
@@ -225,6 +226,12 @@ Injector::apply(const FaultEvent& ev)
     case FaultKind::QueueStall:
         if (nic != nullptr)
             nic->stallQueue(ev.target, ev.duration);
+        else
+            hit = false;
+        break;
+    case FaultKind::QueuePoison:
+        if (nic != nullptr)
+            nic->poisonQueue(ev.target, ev.duration);
         else
             hit = false;
         break;

@@ -32,6 +32,7 @@ enum class FaultKind
     PfKill,           ///< Surprise removal: link down + driver event.
     PfRecover,        ///< Re-probe: link up + driver event.
     QueueStall,       ///< NIC queue datapath stalls for a duration.
+    QueuePoison,      ///< NIC queue buffer pool poisoned for a duration.
     QpiDegrade,       ///< Interconnect links retrain to a rate fraction.
     QpiRestore,       ///< Interconnect back to nominal.
     IrqDelay,         ///< Extra delivery latency on every interrupt.
@@ -39,7 +40,7 @@ enum class FaultKind
     IrqRestore,       ///< Clear all interrupt faults.
 };
 
-constexpr int kFaultKindCount = 12;
+constexpr int kFaultKindCount = 13;
 
 /** Human-readable kind name (logs, CSV columns, test messages). */
 const char* kindName(FaultKind k);
@@ -141,6 +142,12 @@ class FaultPlan
     queueStall(sim::Tick at, int qid, sim::Tick duration)
     {
         return add({at, FaultKind::QueueStall, qid, 0, 1.0, duration});
+    }
+
+    FaultPlan&
+    queuePoison(sim::Tick at, int qid, sim::Tick duration)
+    {
+        return add({at, FaultKind::QueuePoison, qid, 0, 1.0, duration});
     }
 
     FaultPlan&

@@ -1,25 +1,37 @@
 #include "health/monitor.hpp"
 
-#include "nic/device.hpp"
-#include "os/netstack.hpp"
+#include "sim/simulator.hpp"
 
 namespace octo::health {
 
-HealthMonitor::HealthMonitor(nic::NicDevice& device, os::NetStack& stack,
+using steer::Endpoint;
+using steer::EndpointTelemetry;
+
+HealthMonitor::HealthMonitor(steer::SteerablePlane& plane,
                              HealthConfig cfg)
-    : device_(device), stack_(stack), cfg_(cfg)
+    : plane_(plane), cfg_(cfg)
 {
-    const auto& cal = device_.host().cal();
-    scores_.reserve(device_.functionCount());
-    for (int i = 0; i < device_.functionCount(); ++i) {
-        scores_.emplace_back(cfg_,
-                             device_.function(i).lanes() *
-                                 cal.pcieLaneGbps);
+    const int pfs = plane_.pfCount();
+    const int queues = plane_.steerableQueueCount();
+    scores_.reserve(pfs);
+    for (int i = 0; i < pfs; ++i) {
+        scores_.emplace_back(
+            cfg_, plane_.telemetry(Endpoint::ofPf(i)).nominalGbps);
         base_.push_back({});
     }
-    lastTarget_.resize(device_.queueCount());
-    for (int q = 0; q < device_.queueCount(); ++q)
-        lastTarget_[q] = device_.queue(q).homePf->id();
+    pfDrained_.assign(pfs, 0);
+    qscores_.reserve(queues);
+    for (int q = 0; q < queues; ++q) {
+        // A queue has no bandwidth of its own: its score runs on a unit
+        // nominal, so weight is 1 when trusted and 0 when evacuated.
+        qscores_.emplace_back(cfg_, 1.0);
+        qbase_.push_back({});
+        const EndpointTelemetry t =
+            plane_.telemetry(Endpoint::ofQueue(0, q));
+        home_.push_back(t.homePf);
+        lastTarget_.push_back(t.homePf);
+    }
+    qDrained_.assign(queues, 0);
 }
 
 void
@@ -28,7 +40,8 @@ HealthMonitor::start()
     if (started_)
         return;
     started_ = true;
-    stack_.setWeightedSteering(true);
+    plane_.setWeightedSteering(true);
+    plane_.applyPfWeights(weights());
     task_ = run();
 }
 
@@ -37,38 +50,65 @@ HealthMonitor::weights() const
 {
     std::vector<double> w;
     w.reserve(scores_.size());
-    for (const auto& s : scores_)
-        w.push_back(s.weight());
+    for (std::size_t i = 0; i < scores_.size(); ++i)
+        w.push_back(weight(static_cast<int>(i)));
     return w;
+}
+
+void
+HealthMonitor::drainEndpoint(const steer::Endpoint& ep)
+{
+    if (ep.isQueue())
+        qDrained_.at(ep.queue) = 1;
+    else
+        pfDrained_.at(ep.pf) = 1;
+    plane_.drain(ep);
+    applyWeights();
+}
+
+void
+HealthMonitor::undrain(const steer::Endpoint& ep)
+{
+    if (ep.isQueue())
+        qDrained_.at(ep.queue) = 0;
+    else
+        pfDrained_.at(ep.pf) = 0;
+    applyWeights();
 }
 
 sim::Task<>
 HealthMonitor::run()
 {
-    sim::Simulator& sim = device_.host().sim();
+    sim::Simulator& sim = plane_.planeSim();
     for (;;) {
         co_await sim::delay(sim, cfg_.samplePeriod);
         bool changed = false;
         for (std::size_t i = 0; i < scores_.size(); ++i) {
-            pcie::PciFunction& pf =
-                device_.function(static_cast<int>(i));
-            const std::uint64_t errors =
-                pf.correctableErrors() + pf.uncorrectableErrors() +
-                device_.pfDeadDrops(static_cast<int>(i)) +
-                device_.pfTxAborts(static_cast<int>(i));
-            const std::uint64_t stalls =
-                device_.pfStallEvents(static_cast<int>(i));
-
+            const EndpointTelemetry t =
+                plane_.telemetry(Endpoint::ofPf(static_cast<int>(i)));
             HealthSample s;
             s.now = sim.now();
-            s.linkUp = pf.linkUp();
-            s.bwFraction = pf.bwFraction();
-            s.errorDelta = errors - base_[i].errors;
-            s.stallDelta = stalls - base_[i].stalls;
-            base_[i].errors = errors;
-            base_[i].stalls = stalls;
-
+            s.linkUp = t.linkUp;
+            s.bwFraction = t.bwFraction;
+            s.errorDelta = t.errors - base_[i].errors;
+            s.stallDelta = t.stalls - base_[i].stalls;
+            base_[i].errors = t.errors;
+            base_[i].stalls = t.stalls;
             changed |= scores_[i].observe(s);
+            ++samples_;
+        }
+        for (std::size_t q = 0; q < qscores_.size(); ++q) {
+            const EndpointTelemetry t = plane_.telemetry(
+                Endpoint::ofQueue(home_[q], static_cast<int>(q)));
+            HealthSample s;
+            s.now = sim.now();
+            s.linkUp = t.linkUp;
+            s.bwFraction = t.bwFraction;
+            s.errorDelta = t.errors - qbase_[q].errors;
+            s.stallDelta = t.stalls - qbase_[q].stalls;
+            qbase_[q].errors = t.errors;
+            qbase_[q].stalls = t.stalls;
+            changed |= qscores_[q].observe(s);
             ++samples_;
         }
         if (changed)
@@ -81,6 +121,7 @@ HealthMonitor::applyWeights()
 {
     ++verdicts_;
     const std::vector<double> w = weights();
+    plane_.applyPfWeights(w);
 
     // Group queues by home PF so keepSlot sees a stable per-group index.
     for (std::size_t pf = 0; pf < w.size(); ++pf) {
@@ -95,12 +136,12 @@ HealthMonitor::applyWeights()
 
         int slot = 0;
         int group = 0;
-        for (int q = 0; q < device_.queueCount(); ++q) {
-            if (device_.queue(q).homePf->id() == static_cast<int>(pf))
+        for (std::size_t q = 0; q < home_.size(); ++q) {
+            if (home_[q] == static_cast<int>(pf))
                 ++group;
         }
-        for (int q = 0; q < device_.queueCount(); ++q) {
-            if (device_.queue(q).homePf->id() != static_cast<int>(pf))
+        for (std::size_t q = 0; q < home_.size(); ++q) {
+            if (home_[q] != static_cast<int>(pf))
                 continue;
             int target = static_cast<int>(pf);
             if (!keepSlot(slot, group, share) && alt >= 0 && w[alt] > 0)
@@ -110,10 +151,20 @@ HealthMonitor::applyWeights()
             if (w[pf] <= 0 && alt >= 0 && w[alt] > 0)
                 target = alt;
             ++slot;
+            // Queue-grain override: a sick or administratively drained
+            // queue leaves home alone, even when its PF group stays put.
+            // Probation does NOT override — the queue returns to its
+            // group's target, which is how the recovered path is probed.
+            if ((queueSick(static_cast<int>(q)) || qDrained_[q] != 0) &&
+                alt >= 0 && w[alt] > 0) {
+                target = alt;
+            }
             if (target == lastTarget_[q])
                 continue;
             lastTarget_[q] = target;
-            stack_.resteerQueue(q, target);
+            plane_.resteer(Endpoint::ofQueue(static_cast<int>(pf),
+                                             static_cast<int>(q)),
+                           target);
         }
     }
 }

@@ -1,23 +1,32 @@
 /**
  * @file
- * Health monitor: a simulator task that keeps one HealthScore per PCIe
- * function of a team device and drives weighted flow re-steering.
+ * Health monitor: a simulator task that judges the *endpoints* of one
+ * steering plane — every PF and every steerable queue — and drives
+ * weighted re-steering through the plane's device-agnostic interface.
  *
- * Every samplePeriod the monitor reads the counters the model exposes
- * for health purposes — link state, operational width/gen fraction and
- * AER error counts from pcie::PciFunction, per-PF dead-PF drops, Tx
- * aborts and queue-stall events from nic::NicDevice — and feeds each
- * PF's deltas to its HealthScore. When any verdict changes, the monitor
- * recomputes the per-queue PF targets (keepLocalShare over the current
- * weights, spread deterministically with keepSlot) and asks the team
- * driver (os::NetStack) to re-steer the queues whose target moved. The
- * driver performs each re-steer as a drain-then-rebind guarded by a
- * watchdog, so a stalled queue delays at most one watchdog period.
+ * Every samplePeriod the monitor takes an EndpointTelemetry snapshot of
+ * each endpoint and feeds the deltas to that endpoint's HealthScore:
  *
- * The monitor replaces the all-or-nothing PF failover of the plain team
- * driver: attaching it switches the stack into weighted-steering mode
- * (NetStack::setWeightedSteering), after which hot-unplug events are
- * observed through the same sampling path as degradations.
+ *  - **PF endpoints** aggregate link state, trained width/gen fraction
+ *    and AER/drop/abort counters. A PF verdict moves a *weighted share*
+ *    of the queues homed behind it (keepLocalShare over the current
+ *    weights, spread deterministically with keepSlot).
+ *  - **Queue endpoints** observe their own datapath: a stalled
+ *    completion ring or poisoned buffer pool marks just that queue
+ *    impaired. A queue verdict re-steers exactly the sick queue to the
+ *    strongest other PF while its healthy siblings stay bound in place;
+ *    once the queue rehabilitates (Probation -> Healthy) it returns to
+ *    its PF group's target.
+ *
+ * The monitor is device-agnostic: it holds a steer::SteerablePlane, so
+ * the same state machine judges NIC Rx rings (os::NetStack) and NVMe
+ * submission queues (nvme::NvmeDriver). Attaching it switches the plane
+ * into weighted-steering mode — the driver's own all-or-nothing
+ * failover stands down.
+ *
+ * Administrative drain rides the same plumbing: drainEndpoint() zeroes
+ * an endpoint's effective weight (no fault involved) so its load is
+ * evacuated for maintenance; undrain() lets it return.
  */
 #pragma once
 
@@ -26,58 +35,116 @@
 
 #include "health/score.hpp"
 #include "sim/task.hpp"
-
-namespace octo::nic {
-class NicDevice;
-}
-namespace octo::os {
-class NetStack;
-}
+#include "steer/endpoint.hpp"
+#include "steer/plane.hpp"
 
 namespace octo::health {
 
 class HealthMonitor
 {
   public:
-    HealthMonitor(nic::NicDevice& device, os::NetStack& stack,
-                  HealthConfig cfg = {});
+    explicit HealthMonitor(steer::SteerablePlane& plane,
+                           HealthConfig cfg = {});
 
     /** Spawn the sampling task (idempotent). */
     void start();
 
     const HealthConfig& config() const { return cfg_; }
 
+    // ------------------------------------------------ PF-grain verdicts
     HealthState state(int pf) const { return scores_.at(pf).state(); }
-    double weight(int pf) const { return scores_.at(pf).weight(); }
+
+    /** Effective steering weight: the score's weight, zeroed while the
+     *  PF is administratively drained. */
+    double
+    weight(int pf) const
+    {
+        return pfDrained_.at(pf) != 0 ? 0.0 : scores_.at(pf).weight();
+    }
+
     const HealthScore& score(int pf) const { return scores_.at(pf); }
 
-    /** Samples taken across all PFs. */
+    // --------------------------------------------- queue-grain verdicts
+    HealthState
+    queueState(int q) const
+    {
+        return qscores_.at(q).state();
+    }
+
+    const HealthScore& queueScore(int q) const { return qscores_.at(q); }
+
+    /** The PF target last pushed for queue @p q (its home PF until a
+     *  verdict moved it). */
+    int queueTarget(int q) const { return lastTarget_.at(q); }
+
+    /** True while a queue-grain verdict (or admin drain) holds @p q
+     *  away from its PF group's target. */
+    bool
+    queueSteeredAway(int q) const
+    {
+        return lastTarget_.at(q) != home_.at(q);
+    }
+
+    // ------------------------------------------- administrative drain
+    /**
+     * Evacuate @p ep for maintenance: its effective weight drops to
+     * zero (PF grain) or the queue is steered off its home PF (queue
+     * grain), the plane flushes its in-flight work, and it stays out
+     * until undrain(). No fault is recorded — the HealthScore state
+     * machine is not involved.
+     */
+    void drainEndpoint(const steer::Endpoint& ep);
+
+    /** Lift an administrative drain and re-apply weights. */
+    void undrain(const steer::Endpoint& ep);
+
+    bool
+    drained(const steer::Endpoint& ep) const
+    {
+        return ep.isQueue() ? qDrained_.at(ep.queue) != 0
+                            : pfDrained_.at(ep.pf) != 0;
+    }
+
+    // ------------------------------------------------------ statistics
+    /** Samples taken across all endpoints (PFs and queues). */
     std::uint64_t samples() const { return samples_; }
 
-    /** Weight applications pushed to the driver (each may re-steer
-     *  several queues). Bounded-flap tests assert on this. */
+    /** Weight applications pushed to the plane (each may re-steer
+     *  several endpoints). Bounded-flap tests assert on this. */
     std::uint64_t verdicts() const { return verdicts_; }
 
-    /** Current steering weights, one per PF. */
+    /** Current effective steering weights, one per PF. */
     std::vector<double> weights() const;
 
   private:
     sim::Task<> run();
     void applyWeights();
 
-    /** Per-PF cumulative error/stall counters at the last sample. */
-    struct PfBaseline
+    /** A queue-grain verdict that evacuates the queue alone. */
+    bool
+    queueSick(int q) const
+    {
+        const HealthState st = qscores_[q].state();
+        return st == HealthState::Degraded || st == HealthState::Failed;
+    }
+
+    /** Cumulative error/stall counters at the last sample. */
+    struct Baseline
     {
         std::uint64_t errors = 0;
         std::uint64_t stalls = 0;
     };
 
-    nic::NicDevice& device_;
-    os::NetStack& stack_;
+    steer::SteerablePlane& plane_;
     HealthConfig cfg_;
-    std::vector<HealthScore> scores_;
-    std::vector<PfBaseline> base_;
+    std::vector<HealthScore> scores_;  ///< One per PF.
+    std::vector<HealthScore> qscores_; ///< One per steerable queue.
+    std::vector<Baseline> base_;
+    std::vector<Baseline> qbase_;
+    std::vector<int> home_;       ///< Setup-time home PF per queue.
     std::vector<int> lastTarget_; ///< Last PF target pushed per queue.
+    std::vector<char> pfDrained_;
+    std::vector<char> qDrained_;
     sim::Task<> task_;
     bool started_ = false;
     std::uint64_t samples_ = 0;

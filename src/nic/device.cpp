@@ -192,8 +192,19 @@ NicDevice::stallQueue(int qid, Tick duration)
     NicQueue& q = *queues_.at(qid);
     const Tick until = sim_.now() + duration;
     q.stalledUntil = std::max(q.stalledUntil, until);
+    ++q.stallEvents;
     ++queueStallEvents_;
     ++pfStats_.at(q.pf->id()).stallEvents;
+}
+
+void
+NicDevice::poisonQueue(int qid, Tick duration)
+{
+    NicQueue& q = *queues_.at(qid);
+    const Tick until = sim_.now() + duration;
+    q.poisonedUntil = std::max(q.poisonedUntil, until);
+    ++q.poisonEvents;
+    ++queuePoisonEvents_;
 }
 
 Task<>

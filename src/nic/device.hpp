@@ -88,6 +88,9 @@ struct NicQueue
     pcie::PciFunction* homePf; ///< Binding installed at setup; failover
                                ///< rebinds pf and rebalances back here.
     sim::Tick stalledUntil = 0; ///< Queue-stall fault deadline.
+    sim::Tick poisonedUntil = 0; ///< Buffer-poison fault deadline.
+    std::uint64_t stallEvents = 0;  ///< Stall faults applied to this queue.
+    std::uint64_t poisonEvents = 0; ///< Poison faults applied to this queue.
     int bufNode;         ///< Node holding ring + packet buffers (local
                          ///< to the consuming core, per XPS/ARFS).
     sim::Channel<RxCompletion> rxCq;
@@ -191,6 +194,14 @@ class NicDevice
      *  and Tx descriptor processing are deferred for @p duration. */
     void stallQueue(int qid, Tick duration);
 
+    /**
+     * Poison queue @p qid's buffer pool for @p duration (bad DMA
+     * address / corrupted descriptors): completions keep flowing but
+     * carry detectable per-queue errors, so the health plane can
+     * evacuate the one sick queue while its siblings stay bound.
+     */
+    void poisonQueue(int qid, Tick duration);
+
     // --------------------------------------------------------- steering
     /**
      * Install or update a flow-steering rule (ARFS in standard firmware;
@@ -239,6 +250,9 @@ class NicDevice
 
     /** Queue-stall fault events applied. */
     std::uint64_t queueStallEvents() const { return queueStallEvents_; }
+
+    /** Queue-poison fault events applied. */
+    std::uint64_t queuePoisonEvents() const { return queuePoisonEvents_; }
 
     /** PF surprise-removal / re-probe event counts. */
     std::uint64_t pfKills() const { return pfKills_; }
@@ -312,6 +326,7 @@ class NicDevice
     std::uint64_t deadPfDrops_ = 0;
     std::uint64_t txAborts_ = 0;
     std::uint64_t queueStallEvents_ = 0;
+    std::uint64_t queuePoisonEvents_ = 0;
     std::uint64_t pfKills_ = 0;
     std::uint64_t pfRecoveries_ = 0;
 };

@@ -1,0 +1,130 @@
+#include "nvme/driver.hpp"
+
+#include "sim/simulator.hpp"
+
+namespace octo::nvme {
+
+using sim::Task;
+using sim::Tick;
+using steer::Endpoint;
+using steer::EndpointTelemetry;
+
+NvmeDriver::NvmeDriver(NvmeDevice& dev, NvmeDriverConfig cfg)
+    : dev_(dev), cfg_(cfg)
+{
+}
+
+int
+NvmeDriver::addSq(int node)
+{
+    NvmeSq sq;
+    sq.id = static_cast<int>(sqs_.size());
+    sq.node = node;
+    sq.homePf = dev_.portFor(node).id();
+    sq.pf = sq.homePf;
+    sqs_.push_back(sq);
+    return sq.id;
+}
+
+int
+NvmeDriver::sqForNode(int node) const
+{
+    for (const NvmeSq& sq : sqs_) {
+        if (sq.node == node)
+            return sq.id;
+    }
+    return 0;
+}
+
+Task<Tick>
+NvmeDriver::read(std::uint64_t bytes, int buf_node, int submit_node)
+{
+    NvmeSq& sq = sqs_.at(sqForNode(submit_node));
+    // The port is latched at submission: a re-steer mid-IO moves only
+    // subsequent submissions, mirroring the NIC's drain-then-rebind.
+    pcie::PciFunction& pf = dev_.port(sq.pf);
+    ++sq.inflight;
+    ++sq.ios;
+    const Tick lat = co_await dev_.readVia(pf, bytes, buf_node, sq.node);
+    sq.bytes += bytes;
+    --sq.inflight;
+    co_return lat;
+}
+
+EndpointTelemetry
+NvmeDriver::telemetry(const Endpoint& ep) const
+{
+    EndpointTelemetry t;
+    NvmeDevice& dev = dev_;
+    if (ep.isPf()) {
+        const pcie::PciFunction& pf = dev.port(ep.pf);
+        t.linkUp = pf.linkUp();
+        t.bwFraction = pf.bwFraction();
+        t.nominalGbps = pf.nominalGbps();
+        t.errors = pf.correctableErrors() + pf.uncorrectableErrors();
+        t.currentPf = ep.pf;
+        t.homePf = ep.pf;
+        t.node = pf.node();
+        return t;
+    }
+    const NvmeSq& sq = sqs_.at(ep.queue);
+    const pcie::PciFunction& pf = dev.port(sq.pf);
+    t.linkUp = pf.linkUp();
+    t.bwFraction = 1.0; // an SQ has no datapath faults of its own (yet)
+    t.nominalGbps = pf.nominalGbps();
+    t.currentPf = sq.pf;
+    t.homePf = sq.homePf;
+    t.node = sq.node;
+    return t;
+}
+
+void
+NvmeDriver::resteer(const Endpoint& ep, int target_pf)
+{
+    if (ep.isQueue()) {
+        NvmeSq& sq = sqs_.at(ep.queue);
+        if (sq.pf == target_pf)
+            return;
+        sq.pf = target_pf;
+        ++resteers_;
+        return;
+    }
+    for (NvmeSq& sq : sqs_) {
+        if (sq.pf == ep.pf && sq.pf != target_pf) {
+            sq.pf = target_pf;
+            ++resteers_;
+        }
+    }
+}
+
+void
+NvmeDriver::drain(const Endpoint& ep)
+{
+    if (ep.isQueue()) {
+        ++adminDrains_;
+        drains_.push_back(drainTask(ep.queue));
+        return;
+    }
+    for (const NvmeSq& sq : sqs_) {
+        if (sq.pf == ep.pf) {
+            ++adminDrains_;
+            drains_.push_back(drainTask(sq.id));
+        }
+    }
+}
+
+Task<>
+NvmeDriver::drainTask(int sq_id)
+{
+    sim::Simulator& sim = dev_.host().sim();
+    const Tick deadline = sim.now() + cfg_.drainWatchdog;
+    while (sqs_.at(sq_id).inflight > 0) {
+        if (sim.now() >= deadline) {
+            ++watchdogFires_;
+            co_return;
+        }
+        co_await sim::delay(sim, sim::fromUs(5));
+    }
+}
+
+} // namespace octo::nvme

@@ -72,24 +72,48 @@ class NvmeDevice
     /**
      * Asynchronous block read of @p bytes into a buffer on
      * @p buf_node: media access, payload DMA, completion-entry DMA.
-     * @param octo_steer Pick the port local to the buffer (OctoSSD)
-     *                   rather than always port 0.
+     * @param octo_steer  Pick the port local to the buffer (OctoSSD)
+     *                    rather than always port 0.
+     * @param submit_node Socket of the submitting core. The 64B
+     *                    completion entry lands in that node's
+     *                    completion queue — NOT wherever the data buffer
+     *                    happens to live (a cross-socket buffer must not
+     *                    drag the CQE across with it). Negative falls
+     *                    back to @p buf_node for legacy single-node
+     *                    callers.
      * @return Total device-side latency.
      */
     Task<Tick>
-    read(std::uint64_t bytes, int buf_node, bool octo_steer = false)
+    read(std::uint64_t bytes, int buf_node, bool octo_steer = false,
+         int submit_node = -1)
+    {
+        pcie::PciFunction& pf =
+            octo_steer ? portFor(buf_node) : *ports_.front();
+        return readVia(pf, bytes, buf_node,
+                       submit_node >= 0 ? submit_node : buf_node);
+    }
+
+    /**
+     * Block read routed through an explicit port (the multi-queue
+     * driver's path: the port is the submission queue's current
+     * binding, not a per-IO choice). The completion entry DMAs to
+     * @p cq_node, the submitter's socket.
+     */
+    Task<Tick>
+    readVia(pcie::PciFunction& pf, std::uint64_t bytes, int buf_node,
+            int cq_node)
     {
         const Tick start = host_.sim().now();
         co_await media_.transfer(bytes);
-        pcie::PciFunction& pf =
-            octo_steer ? portFor(buf_node) : *ports_.front();
         co_await pf.dmaWrite(buf_node, bytes);
-        co_await pf.dmaWrite(buf_node, 64); // completion entry
+        co_await pf.dmaWrite(cq_node, 64); // completion entry
         ++completions_;
         co_return host_.sim().now() - start;
     }
 
     std::uint64_t completions() const { return completions_; }
+
+    topo::Machine& host() { return host_; }
 
   private:
     topo::Machine& host_;

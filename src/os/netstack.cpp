@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "steer/steering.hpp"
+
 namespace octo::os {
 
 using mem::DataLoc;
@@ -41,7 +43,7 @@ NetStack::mapCoreToQueueInDomain(int core_id, int domain, int qid)
 }
 
 int
-NetStack::queueForCore(int core_id, int domain) const
+NetStack::xpsLookup(int core_id, int domain) const
 {
     if (domain >= 0) {
         auto it = xpsDomain_.find(
@@ -51,6 +53,53 @@ NetStack::queueForCore(int core_id, int domain) const
     }
     auto it = xps_.find(core_id);
     return it != xps_.end() ? it->second : 0;
+}
+
+int
+NetStack::queueForCore(int core_id, int domain) const
+{
+    const int raw = xpsLookup(core_id, domain);
+    if (!weightedSteering_ || txPfWeights_.empty())
+        return raw;
+    nic::NicDevice& dev = device_;
+    const int cur = dev.queue(raw).pf->id();
+    int best = 0;
+    for (int p = 1; p < static_cast<int>(txPfWeights_.size()); ++p) {
+        if (txPfWeights_[p] > txPfWeights_[best])
+            best = p;
+    }
+    const double wc =
+        cur < static_cast<int>(txPfWeights_.size()) ? txPfWeights_[cur]
+                                                    : 1.0;
+    if (cur == best || wc >= txPfWeights_[best])
+        return raw;
+    // Keep a proportional share of slots on the weak PF (same math and
+    // SplitMix64 spread as the monitor's Rx-queue steering) so Tx load
+    // degrades gradually rather than stampeding.
+    const double share = steer::keepLocalShare(wc, txPfWeights_[best]);
+    if (steer::keepSlot(raw, dev.queueCount(), share))
+        return raw;
+    const int node = machine_.core(core_id).node();
+    std::vector<int> local;
+    int fallback = -1;
+    for (int q = 0; q < dev.queueCount(); ++q) {
+        const nic::NicQueue& cand = dev.queue(q);
+        if (cand.pf->id() != best)
+            continue;
+        if (cand.irqCore->node() == node)
+            local.push_back(q);
+        else if (fallback < 0)
+            fallback = q;
+    }
+    if (!local.empty()) {
+        txQueueOverrides_.add();
+        return local[static_cast<std::size_t>(core_id) % local.size()];
+    }
+    if (fallback >= 0) {
+        txQueueOverrides_.add();
+        return fallback;
+    }
+    return raw;
 }
 
 Socket&
@@ -355,6 +404,75 @@ NetStack::resteerQueue(int qid, int pf_idx)
     drainAndRebind(qid, pf_idx, epoch).detach();
 }
 
+steer::EndpointTelemetry
+NetStack::telemetry(const steer::Endpoint& ep) const
+{
+    steer::EndpointTelemetry t;
+    nic::NicDevice& dev = device_;
+    if (ep.isPf()) {
+        const pcie::PciFunction& pf = dev.function(ep.pf);
+        t.linkUp = pf.linkUp();
+        t.bwFraction = pf.bwFraction();
+        t.nominalGbps = pf.nominalGbps();
+        t.errors = pf.correctableErrors() + pf.uncorrectableErrors() +
+                   dev.pfDeadDrops(ep.pf) + dev.pfTxAborts(ep.pf);
+        // Queue stalls are judged at queue granularity — folding them
+        // into the PF verdict would tar every healthy sibling.
+        t.stalls = 0;
+        t.currentPf = ep.pf;
+        t.homePf = ep.pf;
+        t.node = pf.node();
+        return t;
+    }
+    const nic::NicQueue& q = dev.queue(ep.queue);
+    t.linkUp = q.pf->linkUp();
+    t.impaired = q.stalledUntil > sim_.now() ||
+                 q.poisonedUntil > sim_.now();
+    t.bwFraction = t.impaired ? 0.0 : 1.0;
+    t.nominalGbps = q.pf->nominalGbps();
+    t.errors = q.poisonEvents;
+    t.stalls = q.stallEvents;
+    t.currentPf = q.pf->id();
+    t.homePf = q.homePf->id();
+    t.node = q.irqCore->node();
+    return t;
+}
+
+void
+NetStack::resteer(const steer::Endpoint& ep, int target_pf)
+{
+    if (ep.isQueue()) {
+        resteerQueue(ep.queue, target_pf);
+        return;
+    }
+    for (int qid = 0; qid < device_.queueCount(); ++qid) {
+        if (device_.queue(qid).pf->id() == ep.pf)
+            resteerQueue(qid, target_pf);
+    }
+}
+
+void
+NetStack::drain(const steer::Endpoint& ep)
+{
+    if (ep.isQueue()) {
+        adminDrains_.add();
+        adminDrainTask(ep.queue).detach();
+        return;
+    }
+    for (int qid = 0; qid < device_.queueCount(); ++qid) {
+        if (device_.queue(qid).pf->id() == ep.pf) {
+            adminDrains_.add();
+            adminDrainTask(qid).detach();
+        }
+    }
+}
+
+sim::Task<>
+NetStack::adminDrainTask(int qid)
+{
+    co_await drainQueue(qid);
+}
+
 sim::Task<bool>
 NetStack::drainQueue(int qid)
 {
@@ -646,7 +764,10 @@ NetStack::flowMoved(Socket& sock, topo::Core& core)
 {
     if (xps_.empty())
         return;
-    const int new_q = queueForCore(core.id(), sock.steerDomain);
+    // Raw XPS pick: ARFS rules are sticky until the thread moves again,
+    // so steering them by transient health weights would strand flows
+    // on a once-degraded PF's queues after recovery.
+    const int new_q = xpsLookup(core.id(), sock.steerDomain);
     const int old_q = device_.classify(sock.rxFlow);
     if (old_q == new_q)
         return;

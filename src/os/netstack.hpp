@@ -24,6 +24,7 @@
 #include "os/thread.hpp"
 #include "sim/stats.hpp"
 #include "sim/task.hpp"
+#include "steer/plane.hpp"
 
 namespace octo::os {
 
@@ -75,8 +76,12 @@ struct StackConfig
 
 /**
  * Per-netdev network stack: sockets, XPS, ARFS, softirq processing.
+ *
+ * Also the NIC's steering plane: queues and PFs are exposed to the
+ * health monitor as steer::Endpoints, so per-queue verdicts move one
+ * sick Rx ring while its siblings stay bound in place.
  */
-class NetStack : public nic::NicSink
+class NetStack : public nic::NicSink, public steer::SteerablePlane
 {
   public:
     NetStack(topo::Machine& machine, nic::NicDevice& device,
@@ -97,8 +102,16 @@ class NetStack : public nic::NicSink
     /** Per-netdev XPS entry for multi-netdev (bonded/two-NIC) setups. */
     void mapCoreToQueueInDomain(int core_id, int domain, int qid);
 
-    /** Queue for @p core_id; with @p domain >= 0 the lookup is confined
-     *  to that netdev's map (a socket pinned to one member link). */
+    /**
+     * Queue for @p core_id; with @p domain >= 0 the lookup is confined
+     * to that netdev's map (a socket pinned to one member link).
+     *
+     * In weighted-steering mode the XPS pick is health-aware: when the
+     * mapped queue is bound to a PF the monitor has down-weighted, a
+     * deterministic share of cores (the same SplitMix64 spread the Rx
+     * plane uses) posts to a queue behind the strongest PF instead —
+     * preferring one whose IRQ core shares the sender's node.
+     */
     int queueForCore(int core_id, int domain = -1) const;
 
     /** Assign @p qid to a steering domain (one per netdev). */
@@ -162,8 +175,43 @@ class NetStack : public nic::NicSink
      * monitor observes link loss as weight 0 and re-steers through the
      * same weighted path).
      */
-    void setWeightedSteering(bool on) { weightedSteering_ = on; }
+    void setWeightedSteering(bool on) override { weightedSteering_ = on; }
     bool weightedSteering() const { return weightedSteering_; }
+
+    // --------------------------------- steer::SteerablePlane interface
+    const char* planeName() const override { return "net"; }
+    sim::Simulator& planeSim() override { return sim_; }
+    int pfCount() const override { return device_.functionCount(); }
+
+    int
+    steerableQueueCount() const override
+    {
+        return device_.queueCount();
+    }
+
+    steer::EndpointTelemetry
+    telemetry(const steer::Endpoint& ep) const override;
+
+    /** Queue endpoints re-steer alone (epoch-guarded drain/rebind); PF
+     *  endpoints re-steer every queue currently bound to the PF. */
+    void resteer(const steer::Endpoint& ep, int target_pf) override;
+
+    /** Administrative drain: flush the endpoint's in-flight Rx backlog
+     *  (watchdog-bounded) without touching any binding. */
+    void drain(const steer::Endpoint& ep) override;
+
+    /** Monitor-pushed per-PF weights consulted by queueForCore(). */
+    void
+    applyPfWeights(const std::vector<double>& weights) override
+    {
+        txPfWeights_ = weights;
+    }
+
+    std::uint64_t
+    resteersPerformed() const override
+    {
+        return healthResteers_.value();
+    }
 
     /**
      * Re-steer queue @p qid's DMA behind PF @p pf_idx: issue the
@@ -188,6 +236,17 @@ class NetStack : public nic::NicSink
     /** Health-driven weighted queue re-steers (each resteerQueue call
      *  that actually rebound a queue). */
     std::uint64_t healthResteers() const { return healthResteers_.value(); }
+
+    /** Tx posts redirected off a down-weighted PF by the health-aware
+     *  XPS pick. */
+    std::uint64_t
+    txQueueOverrides() const
+    {
+        return txQueueOverrides_.value();
+    }
+
+    /** Administrative endpoint drains requested through the plane. */
+    std::uint64_t adminDrains() const { return adminDrains_.value(); }
 
     /** Blocking driver operations cut short by the steering watchdog
      *  (stalled queue refused to drain in time). */
@@ -216,6 +275,14 @@ class NetStack : public nic::NicSink
     sim::Task<> expiryWorker();
     sim::Task<> softirqTx(int qid);
     sim::Task<> retryWorker();
+
+    /** Raw XPS table lookup (no health adjustment). The ARFS path uses
+     *  this so flows return home with their threads after recovery
+     *  instead of sticking to a once-degraded PF's queues. */
+    int xpsLookup(int core_id, int domain) const;
+
+    /** Fire-and-forget watchdog-bounded flush for an admin drain. */
+    sim::Task<> adminDrainTask(int qid);
 
     /** Act on a PF death/recovery after the detection delay. */
     void applyPfEvent(int pf_idx, bool up);
@@ -267,10 +334,13 @@ class NetStack : public nic::NicSink
     int irqDropEvery_ = 0;
     std::uint64_t irqSeen_ = 0;
     bool weightedSteering_ = false;
+    std::vector<double> txPfWeights_;
     std::unordered_map<int, std::uint64_t> resteerEpoch_;
     sim::Counter pfFailovers_;
     sim::Counter pfRebalances_;
     sim::Counter healthResteers_;
+    mutable sim::Counter txQueueOverrides_;
+    sim::Counter adminDrains_;
     sim::Counter steerWatchdogFires_;
     sim::Counter lostFrames_;
     sim::Counter lostBytes_;

@@ -138,6 +138,13 @@ class PciFunction
         return operLanes_ * host_.cal().pcieLaneGbps * genScale_;
     }
 
+    /** Full-width full-gen bandwidth in Gb/s (steering-weight scale). */
+    double
+    nominalGbps() const
+    {
+        return lanes_ * host_.cal().pcieLaneGbps;
+    }
+
     /** AER correctable error count (replay/retrain events). */
     std::uint64_t correctableErrors() const { return correctableErrors_; }
 

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Steerable-endpoint identity.
+ *
+ * The health/steering plane judges *endpoints*, not devices: an
+ * Endpoint names one steerable unit as (device, pf, queue). Two grains
+ * exist:
+ *
+ *  - **PF endpoints** (`queue < 0`): one PCIe function of a device.
+ *    Verdicts at this grain move a *weighted share* of the PF's queues
+ *    (an x8->x2 retrain keeps 1/4 of them home).
+ *  - **Queue endpoints**: one submission/receive queue behind a PF.
+ *    Verdicts at this grain move exactly that queue (a stalled
+ *    completion ring or poisoned buffer pool evacuates alone, while
+ *    healthy siblings keep their PF binding).
+ *
+ * Endpoints are plain values — hashable, comparable, printable — so
+ * monitors, planes, and tests can key state on them without caring
+ * whether the device behind them is a NIC or an NVMe controller.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace octo::steer {
+
+/** One steerable unit: (device, pf, queue); queue < 0 names the PF. */
+struct Endpoint
+{
+    int device = 0; ///< Device index within the plane (usually 0).
+    int pf = 0;     ///< PCIe function index within the device.
+    int queue = -1; ///< Queue id, or -1 for the PF itself.
+
+    /** The PF-grain endpoint for @p pf. */
+    static Endpoint
+    ofPf(int pf, int device = 0)
+    {
+        return Endpoint{device, pf, -1};
+    }
+
+    /** The queue-grain endpoint for @p queue homed behind @p pf. */
+    static Endpoint
+    ofQueue(int pf, int queue, int device = 0)
+    {
+        return Endpoint{device, pf, queue};
+    }
+
+    bool isPf() const { return queue < 0; }
+    bool isQueue() const { return queue >= 0; }
+
+    bool
+    operator==(const Endpoint& o) const
+    {
+        return device == o.device && pf == o.pf && queue == o.queue;
+    }
+
+    bool operator!=(const Endpoint& o) const { return !(*this == o); }
+
+    /** Human-readable identity (logs, test messages). */
+    std::string
+    name() const
+    {
+        std::string s = "dev" + std::to_string(device) + ".pf" +
+                        std::to_string(pf);
+        if (isQueue())
+            s += ".q" + std::to_string(queue);
+        return s;
+    }
+};
+
+} // namespace octo::steer
+
+template <>
+struct std::hash<octo::steer::Endpoint>
+{
+    std::size_t
+    operator()(const octo::steer::Endpoint& e) const noexcept
+    {
+        // SplitMix64 over the packed identity: queue ids and PF ids are
+        // small, so packing keeps the full identity collision-free.
+        std::uint64_t z = (static_cast<std::uint64_t>(
+                               static_cast<std::uint32_t>(e.queue))
+                           << 32) ^
+                          (static_cast<std::uint64_t>(
+                               static_cast<std::uint16_t>(e.device))
+                           << 16) ^
+                          static_cast<std::uint16_t>(e.pf);
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return static_cast<std::size_t>(z ^ (z >> 31));
+    }
+};

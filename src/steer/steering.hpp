@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Device-agnostic steering math: how much of a sick endpoint's load to
+ * keep local, and which slots to keep. Extracted from the health layer
+ * so any SteerablePlane implementation (NIC team driver, NVMe
+ * multi-queue driver, the stack's health-aware Tx selection) shares one
+ * deterministic spread.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace octo::steer {
+
+/**
+ * Fraction of node-local load the driver keeps on the local endpoint,
+ * given the two candidates' steering weights.
+ *
+ * Locality is worth keeping whenever it costs nothing: when the local
+ * endpoint is at least as strong as the remote one the share is 1
+ * (moving load would buy no bandwidth and pay NUDMA). When the local
+ * endpoint is weaker, load splits in proportion to the weights — an
+ * x8->x2 retrain (weight ratio 1/4) keeps 1/4 of the local load home
+ * and moves ~3/4 remote. A dead local endpoint (weight 0) moves
+ * everything, which degenerates to all-or-nothing failover.
+ */
+inline double
+keepLocalShare(double w_local, double w_remote)
+{
+    if (w_local <= 0)
+        return 0.0;
+    if (w_remote <= 0 || w_local >= w_remote)
+        return 1.0;
+    return w_local / w_remote;
+}
+
+/**
+ * Deterministic pseudo-random spread of @p share over @p n slots:
+ * returns true when slot @p idx is kept home. Slots are ranked by a
+ * SplitMix64 hash so the kept subset is spread across the id space
+ * (consecutive queue ids do not all land on the same side), yet the
+ * same (idx, n, share) always yields the same verdict — no re-steer
+ * churn between identical weight applications.
+ */
+inline bool
+keepSlot(int idx, int n, double share)
+{
+    if (n <= 0 || share >= 1.0)
+        return true;
+    const int kept = static_cast<int>(share * n + 0.5);
+    if (kept >= n)
+        return true;
+    auto mix = [](std::uint64_t z) {
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    };
+    // Rank this slot's hash among all n slots; the `kept` smallest stay.
+    const std::uint64_t mine = mix(static_cast<std::uint64_t>(idx) + 1);
+    int rank = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::uint64_t h = mix(static_cast<std::uint64_t>(i) + 1);
+        if (h < mine)
+            ++rank;
+    }
+    return rank < kept;
+}
+
+} // namespace octo::steer

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "nvme/driver.hpp"
 #include "nvme/nvme.hpp"
 #include "os/thread.hpp"
 #include "sim/sync.hpp"
@@ -39,6 +40,16 @@ class FioThread
     {
     }
 
+    /** Driver-backed variant: IOs go through each drive's multi-queue
+     *  driver (per-node SQs, monitor-steerable ports) instead of the
+     *  raw device. */
+    FioThread(os::ThreadCtx ctx, std::vector<nvme::NvmeDriver*> drivers,
+              const FioConfig& cfg)
+        : ctx_(ctx), drivers_(std::move(drivers)), cfg_(cfg),
+          qd_(ctx_.machine().sim(), cfg.queueDepth)
+    {
+    }
+
     void start() { loop_ = run(); }
 
     std::uint64_t bytesRead() const { return bytes_; }
@@ -51,20 +62,33 @@ class FioThread
         for (;;) {
             co_await qd_.acquire();
             co_await ctx_.core().compute(cfg_.perIoCpu);
-            io(*ssds_[i++ % ssds_.size()]).detach();
+            if (!drivers_.empty())
+                ioVia(*drivers_[i++ % drivers_.size()]).detach();
+            else
+                io(*ssds_[i++ % ssds_.size()]).detach();
         }
     }
 
     sim::Task<>
     io(nvme::NvmeDevice& ssd)
     {
-        co_await ssd.read(cfg_.blockBytes, ctx_.node(), cfg_.octoSteer);
+        co_await ssd.read(cfg_.blockBytes, ctx_.node(), cfg_.octoSteer,
+                          ctx_.node());
+        bytes_ += cfg_.blockBytes;
+        qd_.release();
+    }
+
+    sim::Task<>
+    ioVia(nvme::NvmeDriver& drv)
+    {
+        co_await drv.read(cfg_.blockBytes, ctx_.node(), ctx_.node());
         bytes_ += cfg_.blockBytes;
         qd_.release();
     }
 
     os::ThreadCtx ctx_;
     std::vector<nvme::NvmeDevice*> ssds_;
+    std::vector<nvme::NvmeDriver*> drivers_;
     FioConfig cfg_;
     sim::Semaphore qd_;
     std::uint64_t bytes_ = 0;
