@@ -11,10 +11,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/testbed.hpp"
+#include "obs/hub.hpp"
 #include "sim/stats.hpp"
 #include "workloads/netperf.hpp"
 
@@ -28,6 +31,31 @@ using sim::Tick;
 /** Standard measurement window used by the throughput benches. */
 constexpr Tick kWarmup = sim::fromMs(5);
 constexpr Tick kWindow = sim::fromMs(25);
+
+/**
+ * Consume a `--trace` flag from argv (google-benchmark rejects flags it
+ * does not know, so this must run before benchmark::Initialize) and
+ * also honor the OCTO_TRACE environment variable. Returns whether the
+ * run should record observability output.
+ */
+inline bool
+consumeTraceFlag(int& argc, char** argv)
+{
+    bool on = false;
+    int w = 1;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0) {
+            on = true;
+            continue;
+        }
+        argv[w++] = argv[i];
+    }
+    argc = w;
+    if (const char* env = std::getenv("OCTO_TRACE");
+        env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0)
+        on = true;
+    return on;
+}
 
 /** Snapshot-delta probe over a measurement window. */
 class Probe
@@ -98,15 +126,19 @@ struct StreamResult
 
 /**
  * Single-core netperf TCP_STREAM experiment (Figs. 6 and 7): app thread
- * and NIC interrupts share one server core.
+ * and NIC interrupts share one server core. An optional observability
+ * hub records metrics/trace events for the run; callback-backed
+ * instruments are frozen before the testbed dies so the hub can be
+ * exported after the run.
  */
 inline StreamResult
 runTcpStream(ServerMode mode, std::uint64_t msg_bytes,
              workloads::StreamDir dir, Tick warmup = kWarmup,
-             Tick window = kWindow)
+             Tick window = kWindow, obs::Hub* hub = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = mode;
+    cfg.hub = hub;
     Testbed tb(cfg);
     auto server_t = tb.serverThread(tb.workNode(), 0);
     auto client_t = tb.clientThread(0);
@@ -117,8 +149,11 @@ runTcpStream(ServerMode mode, std::uint64_t msg_bytes,
     tb.runFor(warmup);
     Probe probe(tb, {&server_t.core()}, stream.bytesDelivered());
     tb.runFor(window);
-    return StreamResult{probe.gbps(stream.bytesDelivered()),
-                        probe.membwGbps(), probe.cpuCores()};
+    StreamResult res{probe.gbps(stream.bytesDelivered()),
+                     probe.membwGbps(), probe.cpuCores()};
+    if (hub != nullptr)
+        hub->metrics().freeze();
+    return res;
 }
 
 /** Printf a header once per figure. */

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tx-retention timeline: four TCP *transmit* streams sourced on node 0
+ * while a FaultPlan retrains PF0 from x8 down to x2 mid-run. On the Tx
+ * path the health win flows through queueForCore(): once the monitor
+ * down-weights the sick PF and drain-rebinds the node-0 rings behind
+ * the healthy remote PF, the XPS pick hands every send a ring whose
+ * DMA reads bypass the x2 link. The override column counts the direct
+ * per-post XPS redirects — zero here, because with one ring per core
+ * the rebind covers the whole job before any post needs overriding.
+ *
+ * The run repeats without the monitor — the plain driver keeps posting
+ * on the core's home ring, so the degraded window throttles to the x2
+ * rate — and the degraded-window application bytes of both runs are
+ * compared.
+ *
+ * Output: a printed per-PF Tx timeline with the override rate, and
+ * `tx_retention.csv` (10 ms samples; the override column is an
+ * events-per-second series, exported with the `_per_s` suffix). With
+ * `--trace`/OCTO_TRACE the monitored run also records steering/health
+ * trace events into `tx_retention_trace.json` plus a Prometheus
+ * snapshot in `tx_retention_metrics.prom`.
+ */
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common.hpp"
+#include "sim/trace.hpp"
+
+using namespace octo;
+using namespace octo::bench;
+
+namespace {
+
+constexpr int kStreams = 4;
+constexpr sim::Tick kDegradeAt = sim::fromMs(300);
+constexpr sim::Tick kRestoreAt = sim::fromMs(600);
+constexpr sim::Tick kRunFor = sim::fromMs(1000);
+constexpr sim::Tick kSample = sim::fromMs(10);
+
+/** One timeline run; returns application bytes delivered inside the
+ *  degraded window [degrade+10ms, restore). */
+std::uint64_t
+runTimeline(bool monitored, bool print, obs::Hub* hub)
+{
+    TestbedConfig cfg;
+    cfg.mode = ServerMode::Ioctopus;
+    cfg.healthMonitor = monitored;
+    cfg.hub = hub;
+    cfg.faults.pcieWidthDegrade(kDegradeAt, 0, 2)
+        .pcieRestore(kRestoreAt, 0);
+    Testbed tb(cfg);
+
+    // The senders run on node 0, so XPS posts through PF0 — the
+    // endpoint the plan retrains down to x2 — until the monitor's
+    // weights make queueForCore pick a PF1 ring instead.
+    std::vector<os::ThreadCtx> sctx;
+    std::vector<os::ThreadCtx> cctx;
+    for (int i = 0; i < kStreams; ++i) {
+        sctx.push_back(tb.serverThread(0, i));
+        cctx.push_back(tb.clientThread(i));
+    }
+    std::vector<std::unique_ptr<workloads::NetperfStream>> streams;
+    for (int i = 0; i < kStreams; ++i) {
+        streams.push_back(std::make_unique<workloads::NetperfStream>(
+            tb, sctx[i], cctx[i], 64u << 10,
+            workloads::StreamDir::ServerTx));
+        streams.back()->start();
+    }
+    auto app_bytes = [&] {
+        std::uint64_t total = 0;
+        for (const auto& s : streams)
+            total += s->bytesDelivered();
+        return total;
+    };
+
+    sim::TimeSeries series(tb.sim(), kSample);
+    series.addProbe("pf0_tx", [&] { return tb.serverNic().pfTxBytes(0); });
+    series.addProbe("pf1_tx", [&] { return tb.serverNic().pfTxBytes(1); });
+    series.addProbe("app", app_bytes);
+    series.addProbe("xps_override",
+                    [&] { return tb.serverStack().txQueueOverrides(); },
+                    sim::ProbeUnit::Events);
+    series.start();
+
+    std::uint64_t degraded_bytes = 0;
+    std::uint64_t mark = 0;
+    for (sim::Tick t = 0; t < kRunFor; t += kSample) {
+        tb.runFor(kSample);
+        const sim::Tick now = tb.sim().now();
+        if (now == kDegradeAt + kSample)
+            mark = app_bytes();
+        if (now == kRestoreAt)
+            degraded_bytes = app_bytes() - mark;
+    }
+
+    if (print) {
+        std::printf("\n# octoNIC: PF0 retrained x8->x2 at 0.30 s, "
+                    "restored at 0.60 s; %d Tx streams from node 0; "
+                    "monitor %s; 10 ms samples\n",
+                    kStreams, monitored ? "ON" : "OFF");
+        std::printf("%-8s %10s %10s %10s %14s\n", "t[s]", "pf0-tx",
+                    "pf1-tx", "app", "override/s");
+        for (std::size_t i = 0; i < series.sampleCount(); ++i) {
+            const double t_ms = sim::toMs(series.timeAt(i));
+            const bool near_fault =
+                (t_ms >= 290 && t_ms <= 370) ||
+                (t_ms >= 590 && t_ms <= 690);
+            if (static_cast<int>(t_ms) % 100 != 0 && !near_fault)
+                continue;
+            std::printf("%-8.2f %10.2f %10.2f %10.2f %14.0f\n",
+                        t_ms / 1000.0, series.gbpsAt(0, i),
+                        series.gbpsAt(1, i), series.gbpsAt(2, i),
+                        series.ratePerSecAt(3, i));
+        }
+        std::printf("# tx-overrides=%llu resteers=%llu\n",
+                    static_cast<unsigned long long>(
+                        tb.serverStack().txQueueOverrides()),
+                    static_cast<unsigned long long>(
+                        tb.serverStack().healthResteers()));
+
+        if (monitored) {
+            if (std::FILE* csv = std::fopen("tx_retention.csv", "w")) {
+                series.writeCsv(csv);
+                std::fclose(csv);
+            }
+        }
+    }
+
+    if (hub != nullptr)
+        hub->metrics().freeze();
+    return degraded_bytes;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const bool traced = consumeTraceFlag(argc, argv);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+
+    obs::Hub hub;
+    if (traced)
+        hub.tracer().enable(obs::kCatSteer | obs::kCatHealth |
+                            obs::kCatQueue);
+
+    printHeader("Tx retention — health-aware XPS under a degraded PF",
+                "(time series below)");
+    hub.setRun("monitored");
+    const std::uint64_t with =
+        runTimeline(true, true, traced ? &hub : nullptr);
+    hub.setRun("plain");
+    const std::uint64_t without =
+        runTimeline(false, true, traced ? &hub : nullptr);
+
+    const double window_s =
+        sim::toMs(kRestoreAt - kDegradeAt - kSample) / 1000.0;
+    std::printf("\n# degraded-window app throughput: monitored %.2f Gb/s "
+                "vs unmonitored %.2f Gb/s (%.2fx)\n",
+                static_cast<double>(with) * 8 / 1e9 / window_s,
+                static_cast<double>(without) * 8 / 1e9 / window_s,
+                without > 0 ? static_cast<double>(with) / without : 0.0);
+    if (traced) {
+        hub.tracer().writeFile("tx_retention_trace.json");
+        if (std::FILE* prom = std::fopen("tx_retention_metrics.prom",
+                                         "w")) {
+            hub.metrics().writePrometheus(prom);
+            std::fclose(prom);
+        }
+        std::printf("# wrote tx_retention_trace.json (%zu events) and "
+                    "tx_retention_metrics.prom\n",
+                    hub.tracer().eventCount());
+    }
+    benchmark::Shutdown();
+    return 0;
+}

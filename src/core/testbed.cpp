@@ -24,6 +24,11 @@ modeName(ServerMode m)
 
 Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
 {
+    // Attach the observability hub before any component exists:
+    // instruments are registered (and pointers cached) at construction.
+    if (cfg_.hub != nullptr)
+        sim_.setHub(cfg_.hub);
+
     // A fault plan implies frames can die inside the NIC, so the
     // RTO-style retry worker must run on both hosts or lost frames
     // would leak window credits forever.

@@ -37,6 +37,10 @@
 #include "topo/calibration.hpp"
 #include "topo/machine.hpp"
 
+namespace octo::obs {
+class Hub;
+}
+
 namespace octo::core {
 
 /** Server NIC / driver configuration under test. */
@@ -86,6 +90,11 @@ struct TestbedConfig
 
     /** Monitor tunables (thresholds, hysteresis, probation backoff). */
     health::HealthConfig health;
+
+    /** Observability hub (metrics + tracing). Attached to the simulator
+     *  before any component is built, so every layer registers its
+     *  instruments. Null (the default) keeps observability fully off. */
+    obs::Hub* hub = nullptr;
 };
 
 /** A connected TCP/UDP endpoint pair plus thread contexts. */

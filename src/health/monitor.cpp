@@ -1,5 +1,6 @@
 #include "health/monitor.hpp"
 
+#include "obs/hub.hpp"
 #include "sim/simulator.hpp"
 
 namespace octo::health {
@@ -32,6 +33,26 @@ HealthMonitor::HealthMonitor(steer::SteerablePlane& plane,
         lastTarget_.push_back(t.homePf);
     }
     qDrained_.assign(queues, 0);
+    if (obs::Hub* h = obs::hub(plane_.planeSim())) {
+        obs::MetricRegistry& reg = h->metrics();
+        const std::string plane_name = plane_.planeName();
+        for (int i = 0; i < pfs; ++i) {
+            const obs::Labels l = {{"plane", plane_name},
+                                   {"pf", std::to_string(i)}};
+            reg.gaugeFn("health_weight", l,
+                        [this, i] { return weight(i); });
+            reg.gaugeFn("health_state", l, [this, i] {
+                return static_cast<double>(scores_[i].state());
+            });
+        }
+        const obs::Labels l = {{"plane", plane_name}};
+        reg.counterFn("health_samples", l,
+                      [this] { return samples_; });
+        reg.counterFn("health_verdicts", l,
+                      [this] { return verdicts_; });
+        tracePid_ = h->pidFor("health." + plane_name);
+        h->tracer().threadName(tracePid_, 0, "verdicts");
+    }
 }
 
 void
@@ -62,6 +83,12 @@ HealthMonitor::drainEndpoint(const steer::Endpoint& ep)
         qDrained_.at(ep.queue) = 1;
     else
         pfDrained_.at(ep.pf) = 1;
+    if (auto* tr = obs::tracer(plane_.planeSim(), obs::kCatHealth)) {
+        tr->instant(obs::kCatHealth, "drain", tracePid_, 0,
+                    plane_.planeSim().now(),
+                    {{"endpoint", ep.name()},
+                     {"reason", "administrative"}});
+    }
     plane_.drain(ep);
     applyWeights();
 }
@@ -73,6 +100,11 @@ HealthMonitor::undrain(const steer::Endpoint& ep)
         qDrained_.at(ep.queue) = 0;
     else
         pfDrained_.at(ep.pf) = 0;
+    if (auto* tr = obs::tracer(plane_.planeSim(), obs::kCatHealth)) {
+        tr->instant(obs::kCatHealth, "undrain", tracePid_, 0,
+                    plane_.planeSim().now(),
+                    {{"endpoint", ep.name()}});
+    }
     applyWeights();
 }
 
@@ -94,8 +126,21 @@ HealthMonitor::run()
             s.stallDelta = t.stalls - base_[i].stalls;
             base_[i].errors = t.errors;
             base_[i].stalls = t.stalls;
-            changed |= scores_[i].observe(s);
+            const bool moved = scores_[i].observe(s);
+            changed |= moved;
             ++samples_;
+            if (moved) {
+                if (auto* tr = obs::tracer(sim, obs::kCatHealth)) {
+                    tr->instant(
+                        obs::kCatHealth, "pf_verdict", tracePid_, 0,
+                        sim.now(),
+                        {{"endpoint",
+                          Endpoint::ofPf(static_cast<int>(i)).name()},
+                         {"state", stateName(scores_[i].state())},
+                         {"bw_fraction", s.bwFraction},
+                         {"error_delta", s.errorDelta}});
+                }
+            }
         }
         for (std::size_t q = 0; q < qscores_.size(); ++q) {
             const EndpointTelemetry t = plane_.telemetry(
@@ -108,8 +153,23 @@ HealthMonitor::run()
             s.stallDelta = t.stalls - qbase_[q].stalls;
             qbase_[q].errors = t.errors;
             qbase_[q].stalls = t.stalls;
-            changed |= qscores_[q].observe(s);
+            const bool moved = qscores_[q].observe(s);
+            changed |= moved;
             ++samples_;
+            if (moved) {
+                if (auto* tr = obs::tracer(sim, obs::kCatHealth)) {
+                    tr->instant(
+                        obs::kCatHealth, "queue_verdict", tracePid_, 0,
+                        sim.now(),
+                        {{"endpoint",
+                          Endpoint::ofQueue(home_[q],
+                                            static_cast<int>(q))
+                              .name()},
+                         {"state", stateName(qscores_[q].state())},
+                         {"stall_delta", s.stallDelta},
+                         {"error_delta", s.errorDelta}});
+                }
+            }
         }
         if (changed)
             applyWeights();
@@ -155,13 +215,31 @@ HealthMonitor::applyWeights()
             // queue leaves home alone, even when its PF group stays put.
             // Probation does NOT override — the queue returns to its
             // group's target, which is how the recovered path is probed.
-            if ((queueSick(static_cast<int>(q)) || qDrained_[q] != 0) &&
-                alt >= 0 && w[alt] > 0) {
+            const bool sick = queueSick(static_cast<int>(q));
+            const bool adm = qDrained_[q] != 0;
+            if ((sick || adm) && alt >= 0 && w[alt] > 0)
                 target = alt;
-            }
             if (target == lastTarget_[q])
                 continue;
             lastTarget_[q] = target;
+            if (auto* tr = obs::tracer(plane_.planeSim(),
+                                       obs::kCatHealth)) {
+                const char* reason =
+                    adm                ? "admin_drain"
+                    : sick             ? "queue_sick"
+                    : target == home_[q] ? "return_home"
+                    : w[pf] <= 0       ? "pf_failed"
+                                       : "pf_weighted";
+                tr->instant(
+                    obs::kCatHealth, "resteer", tracePid_, 0,
+                    plane_.planeSim().now(),
+                    {{"endpoint",
+                      Endpoint::ofQueue(static_cast<int>(pf),
+                                        static_cast<int>(q))
+                          .name()},
+                     {"target_pf", target},
+                     {"reason", reason}});
+            }
             plane_.resteer(Endpoint::ofQueue(static_cast<int>(pf),
                                              static_cast<int>(q)),
                            target);

@@ -149,6 +149,7 @@ class HealthMonitor
     bool started_ = false;
     std::uint64_t samples_ = 0;
     std::uint64_t verdicts_ = 0;
+    int tracePid_ = 0; ///< Trace process for this plane's health lane.
 };
 
 } // namespace octo::health

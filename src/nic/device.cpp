@@ -6,8 +6,21 @@
 namespace octo::nic {
 
 NicDevice::NicDevice(topo::Machine& host, std::string name)
-    : host_(host), name_(std::move(name)), sim_(host.sim())
+    : host_(host), name_(std::move(name)), sim_(host.sim()),
+      flows_(obs::hub(host.sim()), name_)
 {
+    if (obs::Hub* h = obs::hub(sim_)) {
+        obs::MetricRegistry& reg = h->metrics();
+        const obs::Labels l = {{"dev", name_}};
+        reg.counterFn("nic_rx_drops", l, [this] { return rxDrops_; });
+        reg.counterFn("nic_dead_pf_drops", l,
+                      [this] { return deadPfDrops_; });
+        reg.counterFn("nic_tx_aborts", l, [this] { return txAborts_; });
+        reg.gaugeFn("nic_steering_rules", l, [this] {
+            return static_cast<double>(steering_.size());
+        });
+        tracePid_ = h->pidFor(name_);
+    }
 }
 
 NicDevice::~NicDevice() = default;
@@ -29,6 +42,17 @@ NicDevice::addQueue(topo::Core& irq_core, pcie::PciFunction& pf,
     const int qid = static_cast<int>(queues_.size());
     queues_.push_back(std::make_unique<NicQueue>(sim_, qid, &irq_core,
                                                  &pf, ring_entries));
+    if (obs::Hub* h = obs::hub(sim_)) {
+        const obs::Labels l = {{"dev", name_},
+                               {"queue", std::to_string(qid)}};
+        NicQueue* q = queues_.back().get();
+        h->metrics().counterFn("nic_rx_frames", l,
+                               [q] { return q->rxFrames; });
+        h->metrics().counterFn("nic_tx_frames", l,
+                               [q] { return q->txFrames; });
+        h->tracer().threadName(tracePid_, qid,
+                               "q" + std::to_string(qid));
+    }
     return qid;
 }
 
@@ -50,12 +74,25 @@ void
 NicDevice::steerFlow(const FiveTuple& flow, int qid)
 {
     steering_[flow] = qid;
+    if (auto* tr = obs::tracer(sim_, obs::kCatSteer)) {
+        tr->instant(obs::kCatSteer, "steer_rule", tracePid_, qid,
+                    sim_.now(),
+                    {{"flow", flowLabel(flow)}, {"qid", qid}});
+    }
 }
 
 void
 NicDevice::unsteerFlow(const FiveTuple& flow)
 {
-    steering_.erase(flow);
+    const auto it = steering_.find(flow);
+    if (it == steering_.end())
+        return;
+    if (auto* tr = obs::tracer(sim_, obs::kCatSteer)) {
+        tr->instant(obs::kCatSteer, "unsteer_rule", tracePid_,
+                    it->second, sim_.now(),
+                    {{"flow", flowLabel(flow)}});
+    }
+    steering_.erase(it);
 }
 
 int
@@ -123,6 +160,15 @@ NicDevice::rxPath(Frame f)
     c.bufNode = q.bufNode;
     c.dataLoc = co_await q.pf->dmaWrite(q.bufNode, f.payloadBytes);
     c.cqeLoc = co_await q.pf->dmaWrite(q.bufNode, 64);
+    if (flows_.active()) {
+        // Payload + CQE share destination node and hence locality/DDIO
+        // outcome — one attribution row covers both writes.
+        flows_.record(f.flow.hash(),
+                      [&f] { return flowLabel(f.flow); },
+                      f.payloadBytes + 64,
+                      q.pf->node() == q.bufNode,
+                      c.dataLoc == mem::DataLoc::Llc);
+    }
     ++q.rxFrames;
     q.rxCq.tryPush(c); // capacity == ring credits: cannot fail
     maybeRaiseRxIrq(q);
@@ -234,6 +280,13 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
     const std::uint32_t main_bytes =
         d.bytes > d.spanBytes ? d.bytes - d.spanBytes : 0;
     co_await q.pf->dmaRead(d.skbNode, main_bytes + 64, d.loc);
+    if (flows_.active()) {
+        const bool local = q.pf->node() == d.skbNode;
+        flows_.record(d.flow.hash(),
+                      [&d] { return flowLabel(d.flow); },
+                      main_bytes + 64, local,
+                      d.loc == mem::DataLoc::Llc && local);
+    }
     if (d.spanBytes > 0) {
         // Cross-node fragment: with IOctoSG the driver's hint routes the
         // fetch through the fragment's local PF; otherwise the queue's
@@ -244,6 +297,13 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
         if (!frag_pf->linkUp())
             frag_pf = q.pf;
         co_await frag_pf->dmaRead(d.spanNode, d.spanBytes, d.loc);
+        if (flows_.active()) {
+            const bool local = frag_pf->node() == d.spanNode;
+            flows_.record(d.flow.hash(),
+                          [&d] { return flowLabel(d.flow); },
+                          d.spanBytes, local,
+                          d.loc == mem::DataLoc::Llc && local);
+        }
     }
 
     // Segment onto the wire (TSO, §2.3): reserve wire slots so
@@ -271,6 +331,12 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
     TxCompletion tc;
     tc.desc = d;
     tc.cqeLoc = co_await q.pf->dmaWrite(q.bufNode, 64);
+    if (flows_.active()) {
+        flows_.record(d.flow.hash(),
+                      [&d] { return flowLabel(d.flow); }, 64,
+                      q.pf->node() == q.bufNode,
+                      tc.cqeLoc == mem::DataLoc::Llc);
+    }
     q.txCq.tryPush(tc);
     maybeRaiseTxIrq(q);
 }
@@ -323,6 +389,19 @@ NicDevice::rearmTxIrq(int qid)
     q.txIrqArmed = true;
     if (!q.txCq.empty())
         maybeRaiseTxIrq(q);
+}
+
+std::string
+NicDevice::flowLabel(const FiveTuple& f)
+{
+    auto ip = [](std::uint32_t a) {
+        return std::to_string(a >> 24) + '.' +
+               std::to_string((a >> 16) & 0xFF) + '.' +
+               std::to_string((a >> 8) & 0xFF) + '.' +
+               std::to_string(a & 0xFF);
+    };
+    return ip(f.srcIp) + ':' + std::to_string(f.srcPort) + '>' +
+           ip(f.dstIp) + ':' + std::to_string(f.dstPort);
 }
 
 std::uint64_t

@@ -32,6 +32,7 @@
 #include "nic/flow.hpp"
 #include "nic/packet.hpp"
 #include "nic/wire.hpp"
+#include "obs/dma.hpp"
 #include "pcie/function.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -220,6 +221,9 @@ class NicDevice
     /** Queue a frame arriving for @p flow would be steered to now. */
     int classify(const FiveTuple& flow) const;
 
+    /** "1.2.3.4:80>5.6.7.8:90" label for a flow (trace/metric rows). */
+    static std::string flowLabel(const FiveTuple& f);
+
     // -------------------------------------------------------- data path
     /**
      * Host posts a Tx descriptor; suspends while the ring is full.
@@ -329,6 +333,9 @@ class NicDevice
     std::uint64_t queuePoisonEvents_ = 0;
     std::uint64_t pfKills_ = 0;
     std::uint64_t pfRecoveries_ = 0;
+
+    obs::DmaAccountant flows_; ///< Flow-grain DMA attribution.
+    int tracePid_ = 0;
 };
 
 } // namespace octo::nic

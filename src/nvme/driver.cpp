@@ -10,8 +10,11 @@ using steer::Endpoint;
 using steer::EndpointTelemetry;
 
 NvmeDriver::NvmeDriver(NvmeDevice& dev, NvmeDriverConfig cfg)
-    : dev_(dev), cfg_(cfg)
+    : dev_(dev), cfg_(cfg),
+      flows_(obs::hub(dev.host().sim()), dev.name())
 {
+    if (obs::Hub* h = obs::hub(dev_.host().sim()))
+        tracePid_ = h->pidFor(dev_.name());
 }
 
 int
@@ -23,6 +26,20 @@ NvmeDriver::addSq(int node)
     sq.homePf = dev_.portFor(node).id();
     sq.pf = sq.homePf;
     sqs_.push_back(sq);
+    if (obs::Hub* h = obs::hub(dev_.host().sim())) {
+        const int id = sq.id;
+        const obs::Labels l = {{"dev", dev_.name()},
+                               {"sq", std::to_string(id)}};
+        h->metrics().counterFn("nvme_sq_ios", l,
+                               [this, id] { return sqs_[id].ios; });
+        h->metrics().counterFn("nvme_sq_bytes", l,
+                               [this, id] { return sqs_[id].bytes; });
+        h->metrics().gaugeFn("nvme_sq_inflight", l, [this, id] {
+            return static_cast<double>(sqs_[id].inflight);
+        });
+        h->tracer().threadName(tracePid_, id,
+                               "sq" + std::to_string(id));
+    }
     return sq.id;
 }
 
@@ -45,9 +62,36 @@ NvmeDriver::read(std::uint64_t bytes, int buf_node, int submit_node)
     pcie::PciFunction& pf = dev_.port(sq.pf);
     ++sq.inflight;
     ++sq.ios;
+    const Tick start = dev_.host().sim().now();
     const Tick lat = co_await dev_.readVia(pf, bytes, buf_node, sq.node);
     sq.bytes += bytes;
     --sq.inflight;
+    if (flows_.active()) {
+        // Payload lands on the buffer's node, the 64B completion entry
+        // on the submitter's; attribute both to the SQ's row. DDIO
+        // outcome reuses the same deterministic placement function the
+        // port applied inside dmaWrite.
+        topo::Machine& host = dev_.host();
+        const int sq_id = sq.id;
+        const auto label = [sq_id] {
+            return "sq" + std::to_string(sq_id);
+        };
+        flows_.record(static_cast<std::uint64_t>(sq_id), label, bytes,
+                      pf.node() == buf_node,
+                      host.llc(buf_node).dmaWriteLocation(
+                          pf.node(), buf_node) == mem::DataLoc::Llc);
+        flows_.record(static_cast<std::uint64_t>(sq_id), label, 64,
+                      pf.node() == sq.node,
+                      host.llc(sq.node).dmaWriteLocation(
+                          pf.node(), sq.node) == mem::DataLoc::Llc);
+    }
+    if (auto* tr = obs::tracer(dev_.host().sim(), obs::kCatQueue)) {
+        tr->complete(obs::kCatQueue, "nvme_read", tracePid_, sq.id,
+                     start, dev_.host().sim().now(),
+                     {{"bytes", bytes},
+                      {"buf_node", buf_node},
+                      {"port", sq.pf}});
+    }
     co_return lat;
 }
 
@@ -70,7 +114,9 @@ NvmeDriver::telemetry(const Endpoint& ep) const
     const NvmeSq& sq = sqs_.at(ep.queue);
     const pcie::PciFunction& pf = dev.port(sq.pf);
     t.linkUp = pf.linkUp();
-    t.bwFraction = 1.0; // an SQ has no datapath faults of its own (yet)
+    // An SQ has no datapath faults of its own; its effective bandwidth
+    // is whatever the port it is currently bound to can train to.
+    t.bwFraction = pf.bwFraction();
     t.nominalGbps = pf.nominalGbps();
     t.currentPf = sq.pf;
     t.homePf = sq.homePf;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "nvme/nvme.hpp"
+#include "obs/dma.hpp"
 #include "sim/task.hpp"
 #include "steer/plane.hpp"
 
@@ -132,6 +133,9 @@ class NvmeDriver : public steer::SteerablePlane
     std::uint64_t resteers_ = 0;
     std::uint64_t adminDrains_ = 0;
     std::uint64_t watchdogFires_ = 0;
+
+    obs::DmaAccountant flows_; ///< Per-SQ DMA attribution.
+    int tracePid_ = 0;
 };
 
 } // namespace octo::nvme

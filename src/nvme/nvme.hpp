@@ -52,6 +52,8 @@ class NvmeDevice
         return *ports_.back();
     }
 
+    const std::string& name() const { return name_; }
+
     int portCount() const { return static_cast<int>(ports_.size()); }
     pcie::PciFunction& port(int idx) { return *ports_.at(idx); }
 

@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <cinttypes>
+
+namespace octo::obs {
+
+namespace {
+
+/** Minimal JSON string escaping (quotes, backslash, control chars). */
+void
+appendEscaped(std::string& out, const char* s)
+{
+    for (; *s != '\0'; ++s) {
+        const char c = *s;
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned char>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+} // namespace
+
+void
+Tracer::appendTs(std::string& ev, const char* field, sim::Tick t)
+{
+    // Ticks are picoseconds; the trace-event format wants microseconds.
+    // Integer/fraction split keeps the formatting exact + deterministic.
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"%s\":%" PRId64 ".%06" PRId64,
+                  field, t / 1000000, t % 1000000);
+    ev += buf;
+}
+
+void
+Tracer::appendArgs(std::string& ev, TraceArgs args)
+{
+    ev += ",\"args\":{";
+    bool first = true;
+    char buf[64];
+    for (const TraceArg& a : args) {
+        if (!first)
+            ev += ',';
+        first = false;
+        ev += '"';
+        appendEscaped(ev, a.key);
+        ev += "\":";
+        switch (a.kind) {
+          case TraceArg::Kind::Uint:
+            std::snprintf(buf, sizeof buf, "%" PRIu64, a.u);
+            ev += buf;
+            break;
+          case TraceArg::Kind::Int:
+            std::snprintf(buf, sizeof buf, "%" PRId64, a.i);
+            ev += buf;
+            break;
+          case TraceArg::Kind::Dbl:
+            std::snprintf(buf, sizeof buf, "%.9g", a.d);
+            ev += buf;
+            break;
+          case TraceArg::Kind::Str:
+            ev += '"';
+            appendEscaped(ev, a.s.c_str());
+            ev += '"';
+            break;
+        }
+    }
+    ev += '}';
+}
+
+bool
+Tracer::admit()
+{
+    if (events_.size() >= maxEvents_) {
+        ++dropped_;
+        return false;
+    }
+    return true;
+}
+
+void
+Tracer::processName(int pid, const std::string& name)
+{
+    std::string ev;
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":%d,"
+                  "\"tid\":0,\"args\":{\"name\":\"",
+                  pid);
+    ev += buf;
+    appendEscaped(ev, name.c_str());
+    ev += "\"}}";
+    meta_.push_back(std::move(ev));
+}
+
+void
+Tracer::threadName(int pid, int tid, const std::string& name)
+{
+    std::string ev;
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":\"",
+                  pid, tid);
+    ev += buf;
+    appendEscaped(ev, name.c_str());
+    ev += "\"}}";
+    meta_.push_back(std::move(ev));
+}
+
+void
+Tracer::complete(TraceCat cat, const char* name, int pid, int tid,
+                 sim::Tick start, sim::Tick end, TraceArgs args)
+{
+    if (!wants(cat) || !admit())
+        return;
+    std::string ev = "{\"ph\":\"X\",\"name\":\"";
+    appendEscaped(ev, name);
+    ev += "\",\"cat\":\"";
+    ev += std::to_string(cat);
+    ev += "\",";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"pid\":%d,\"tid\":%d,", pid, tid);
+    ev += buf;
+    appendTs(ev, "ts", start);
+    ev += ',';
+    appendTs(ev, "dur", end >= start ? end - start : 0);
+    if (args.size() > 0)
+        appendArgs(ev, args);
+    ev += '}';
+    events_.push_back(std::move(ev));
+}
+
+void
+Tracer::instant(TraceCat cat, const char* name, int pid, int tid,
+                sim::Tick ts, TraceArgs args)
+{
+    if (!wants(cat) || !admit())
+        return;
+    std::string ev = "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"";
+    appendEscaped(ev, name);
+    ev += "\",\"cat\":\"";
+    ev += std::to_string(cat);
+    ev += "\",";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"pid\":%d,\"tid\":%d,", pid, tid);
+    ev += buf;
+    appendTs(ev, "ts", ts);
+    if (args.size() > 0)
+        appendArgs(ev, args);
+    ev += '}';
+    events_.push_back(std::move(ev));
+}
+
+std::string
+Tracer::json() const
+{
+    std::string out = "{\"traceEvents\":[";
+    bool first = true;
+    for (const auto& ev : meta_) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += ev;
+    }
+    for (const auto& ev : events_) {
+        if (!first)
+            out += ",\n";
+        first = false;
+        out += ev;
+    }
+    out += "],\"otherData\":{\"droppedEvents\":\"";
+    out += std::to_string(dropped_);
+    out += "\"}}";
+    return out;
+}
+
+bool
+Tracer::writeFile(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr)
+        return false;
+    const std::string doc = json();
+    const bool ok =
+        std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace octo::obs

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Event tracer emitting Chrome/Perfetto trace-event JSON.
+ *
+ * Events use the trace-event format's "X" (complete span) and "i"
+ * (instant) phases plus "M" metadata for process/thread names, so the
+ * output loads directly in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing. Pids map to devices/hosts, tids to queues/PFs/cores
+ * — the per-row lanes of the timeline view.
+ *
+ * Zero overhead when off: every emit site guards on a category mask
+ * (see obs::tracer(sim, cat) in hub.hpp), and recording only reads the
+ * simulated clock and appends a pre-formatted string — it never awaits,
+ * schedules, or otherwise perturbs the simulation, so simulated timing
+ * is bit-identical with tracing on or off.
+ *
+ * Event volume is bounded by a cap: once maxEvents() is reached further
+ * events are counted as dropped (deterministically — the cap cuts at
+ * the same simulated point on every identical run). Metadata events are
+ * exempt so the process/thread naming stays complete.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace octo::obs {
+
+/** Event categories, maskable per run to bound trace size. */
+enum TraceCat : unsigned
+{
+    kCatDma = 1u << 0,    ///< Per-DMA transfer spans (payloads, CQEs).
+    kCatQueue = 1u << 1,  ///< Queue service: softirq batches, SQ IOs.
+    kCatSteer = 1u << 2,  ///< ARFS/XPS steering picks and re-steers.
+    kCatHealth = 1u << 3, ///< Monitor verdicts, drains, weight pushes.
+    kCatApp = 1u << 4,    ///< Workload-level markers (bench phases).
+    kCatAll = 0x1Fu,
+};
+
+/** One "args" entry of a trace event. */
+struct TraceArg
+{
+    TraceArg(const char* k, std::uint64_t v)
+        : key(k), kind(Kind::Uint), u(v)
+    {
+    }
+    TraceArg(const char* k, int v)
+        : key(k), kind(Kind::Int), i(v)
+    {
+    }
+    TraceArg(const char* k, double v) : key(k), kind(Kind::Dbl), d(v) {}
+    TraceArg(const char* k, const char* v)
+        : key(k), kind(Kind::Str), s(v)
+    {
+    }
+    TraceArg(const char* k, const std::string& v)
+        : key(k), kind(Kind::Str), s(v)
+    {
+    }
+
+    enum class Kind
+    {
+        Uint,
+        Int,
+        Dbl,
+        Str,
+    };
+
+    const char* key;
+    Kind kind;
+    std::uint64_t u = 0;
+    std::int64_t i = 0;
+    double d = 0;
+    std::string s;
+};
+
+using TraceArgs = std::initializer_list<TraceArg>;
+
+/** The tracer. Owned by obs::Hub; disabled (mask 0) by default. */
+class Tracer
+{
+  public:
+    Tracer() = default;
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+    /** Enable recording for the categories in @p mask (0 disables). */
+    void enable(unsigned mask = kCatAll) { mask_ = mask; }
+
+    unsigned mask() const { return mask_; }
+    bool enabled() const { return mask_ != 0; }
+    bool wants(TraceCat c) const { return (mask_ & c) != 0; }
+
+    /** Cap on non-metadata events retained (default 400k ≈ tens of MB
+     *  of JSON); the overflow is counted, not silently lost. */
+    void setMaxEvents(std::size_t n) { maxEvents_ = n; }
+
+    std::size_t eventCount() const { return events_.size(); }
+    std::uint64_t droppedEvents() const { return dropped_; }
+
+    /** Name the timeline row group for @p pid (a host or device). */
+    void processName(int pid, const std::string& name);
+
+    /** Name one lane (queue/PF/core) inside @p pid's group. */
+    void threadName(int pid, int tid, const std::string& name);
+
+    /** Complete span [@p start, @p end] on lane (@p pid, @p tid). */
+    void complete(TraceCat cat, const char* name, int pid, int tid,
+                  sim::Tick start, sim::Tick end, TraceArgs args = {});
+
+    /** Instant marker at @p ts on lane (@p pid, @p tid). */
+    void instant(TraceCat cat, const char* name, int pid, int tid,
+                 sim::Tick ts, TraceArgs args = {});
+
+    /** The full trace as a JSON document ({"traceEvents": [...]}). */
+    std::string json() const;
+
+    /** Write the JSON document to @p path; false on I/O failure. */
+    bool writeFile(const std::string& path) const;
+
+  private:
+    bool admit();
+    static void appendArgs(std::string& ev, TraceArgs args);
+    static void appendTs(std::string& ev, const char* field,
+                         sim::Tick t);
+
+    unsigned mask_ = 0;
+    std::size_t maxEvents_ = 400000;
+    std::uint64_t dropped_ = 0;
+    std::vector<std::string> meta_;   ///< "M" events, never dropped.
+    std::vector<std::string> events_; ///< "X"/"i" events, capped.
+};
+
+} // namespace octo::obs

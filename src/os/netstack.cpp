@@ -25,6 +25,35 @@ NetStack::NetStack(topo::Machine& machine, nic::NicDevice& device,
         expiry_ = expiryWorker();
     if (cfg_.retryTimeout > 0)
         retry_ = retryWorker();
+    if (obs::Hub* h = obs::hub(sim_)) {
+        obs::MetricRegistry& reg = h->metrics();
+        const obs::Labels l = {{"dev", device_.name()}};
+        reg.counterFn("net_rx_packets", l, [this] { return rxPackets_; });
+        reg.counterFn("net_rx_bytes", l,
+                      [this] { return rxBytesDelivered_; });
+        reg.counterFn("net_steering_updates", l,
+                      [this] { return steeringUpdates_; });
+        reg.counterFn("net_steering_expiries", l,
+                      [this] { return steeringExpiries_; });
+        reg.counterFn("net_tx_queue_overrides", l,
+                      [this] { return txQueueOverrides_.value(); });
+        reg.counterFn("net_health_resteers", l,
+                      [this] { return healthResteers_.value(); });
+        reg.counterFn("net_pf_failovers", l,
+                      [this] { return pfFailovers_.value(); });
+        reg.counterFn("net_pf_rebalances", l,
+                      [this] { return pfRebalances_.value(); });
+        reg.counterFn("net_admin_drains", l,
+                      [this] { return adminDrains_.value(); });
+        reg.counterFn("net_lost_bytes", l,
+                      [this] { return lostBytes_.value(); });
+        reg.counterFn("net_reclaimed_bytes", l,
+                      [this] { return reclaimedBytes_.value(); });
+        reg.counterFn("net_watchdog_polls", l,
+                      [this] { return watchdogPolls_.value(); });
+        obRxBatch_ = &reg.histogram("softirq_rx_batch_frames", l);
+        tracePid_ = h->pidFor(device_.name());
+    }
 }
 
 NetStack::~NetStack() = default;
@@ -91,15 +120,23 @@ NetStack::queueForCore(int core_id, int domain) const
         else if (fallback < 0)
             fallback = q;
     }
-    if (!local.empty()) {
+    int pick = raw;
+    if (!local.empty())
+        pick = local[static_cast<std::size_t>(core_id) % local.size()];
+    else if (fallback >= 0)
+        pick = fallback;
+    if (pick != raw) {
         txQueueOverrides_.add();
-        return local[static_cast<std::size_t>(core_id) % local.size()];
+        if (auto* tr = obs::tracer(sim_, obs::kCatSteer)) {
+            tr->instant(obs::kCatSteer, "xps_override", tracePid_, pick,
+                        sim_.now(),
+                        {{"core", core_id},
+                         {"from_q", raw},
+                         {"to_q", pick},
+                         {"weak_pf", cur}});
+        }
     }
-    if (fallback >= 0) {
-        txQueueOverrides_.add();
-        return fallback;
-    }
-    return raw;
+    return pick;
 }
 
 Socket&
@@ -507,8 +544,15 @@ NetStack::drainAndRebind(int qid, int pf_idx, std::uint64_t epoch)
     pcie::PciFunction* pf = &device_.function(pf_idx);
     if (device_.queue(qid).pf == pf)
         co_return;
+    const int old_pf = device_.queue(qid).pf->id();
     device_.rebindQueue(qid, *pf);
     healthResteers_.add();
+    if (auto* tr = obs::tracer(sim_, obs::kCatSteer)) {
+        tr->instant(obs::kCatSteer, "health_resteer", tracePid_, qid,
+                    sim_.now(),
+                    {{"qid", qid}, {"from_pf", old_pf},
+                     {"to_pf", pf_idx}});
+    }
 }
 
 void
@@ -535,6 +579,14 @@ NetStack::applyPfEvent(int pf_idx, bool up)
                 continue; // total PCIe outage: nothing to steer to
             dev.rebindQueue(qid, *survivor);
             pfFailovers_.add();
+            if (auto* tr = obs::tracer(sim_, obs::kCatHealth)) {
+                tr->instant(obs::kCatHealth, "pf_failover", tracePid_,
+                            qid, sim_.now(),
+                            {{"qid", qid},
+                             {"dead_pf", pf_idx},
+                             {"to_pf", survivor->id()},
+                             {"reason", "pf_link_down"}});
+            }
         }
         return;
     }
@@ -546,6 +598,13 @@ NetStack::applyPfEvent(int pf_idx, bool up)
             continue;
         dev.rebindQueue(qid, *q.homePf);
         pfRebalances_.add();
+        if (auto* tr = obs::tracer(sim_, obs::kCatHealth)) {
+            tr->instant(obs::kCatHealth, "pf_rebalance", tracePid_, qid,
+                        sim_.now(),
+                        {{"qid", qid},
+                         {"home_pf", pf_idx},
+                         {"reason", "pf_link_restored"}});
+        }
     }
 }
 
@@ -588,6 +647,8 @@ NetStack::softirqRx(int qid)
     topo::Core& c = *q.irqCore;
     const auto& cal = machine_.cal();
 
+    const Tick so_start = sim_.now();
+    int so_frames = 0;
     co_await c.mutex().acquire();
     int in_hold = 0;
     for (;;) {
@@ -663,6 +724,7 @@ NetStack::softirqRx(int qid)
         q.rxCredits.release(frames); // replenish the Rx ring
         q.rxReaped += frames;
         rxPackets_ += frames;
+        so_frames += frames;
 
         auto it = demux_.find(comp.frame.flow);
         if (it == demux_.end()) {
@@ -692,6 +754,12 @@ NetStack::softirqRx(int qid)
         }
     }
     c.mutex().release();
+    if (obRxBatch_ != nullptr)
+        obRxBatch_->record(so_frames);
+    if (auto* tr = obs::tracer(sim_, obs::kCatQueue)) {
+        tr->complete(obs::kCatQueue, "softirq_rx", tracePid_, qid,
+                     so_start, sim_.now(), {{"frames", so_frames}});
+    }
     device_.rearmRxIrq(qid);
 }
 
@@ -702,6 +770,8 @@ NetStack::softirqTx(int qid)
     topo::Core& c = *q.irqCore;
     const auto& cal = machine_.cal();
 
+    const Tick so_start = sim_.now();
+    int so_comps = 0;
     co_await c.mutex().acquire();
     int in_hold = 0;
     for (;;) {
@@ -727,6 +797,7 @@ NetStack::softirqTx(int qid)
         c.addBusy(sim_.now() - t0);
         if (comp.desc.completionSem != nullptr)
             comp.desc.completionSem->release();
+        ++so_comps;
 
         if (++in_hold >= cfg_.rxBudget) {
             in_hold = 0;
@@ -736,6 +807,11 @@ NetStack::softirqTx(int qid)
         }
     }
     c.mutex().release();
+    if (auto* tr = obs::tracer(sim_, obs::kCatQueue)) {
+        tr->complete(obs::kCatQueue, "softirq_tx", tracePid_, qid,
+                     so_start, sim_.now(),
+                     {{"completions", so_comps}});
+    }
     device_.rearmTxIrq(qid);
 }
 
@@ -793,6 +869,13 @@ NetStack::applySteer(nic::FiveTuple flow, int old_qid, int new_qid)
     // wedge the steering worker (the rule is applied anyway, accepting
     // a transient reordering window).
     co_await drainQueue(old_qid);
+    if (auto* tr = obs::tracer(sim_, obs::kCatSteer)) {
+        tr->instant(obs::kCatSteer, "arfs_steer", tracePid_, new_qid,
+                    sim_.now(),
+                    {{"flow", nic::NicDevice::flowLabel(flow)},
+                     {"from_q", old_qid},
+                     {"to_q", new_qid}});
+    }
     device_.steerFlow(flow, new_qid);
 }
 

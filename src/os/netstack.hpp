@@ -349,6 +349,10 @@ class NetStack : public nic::NicSink, public steer::SteerablePlane
     sim::Counter irqsDelayed_;
     sim::Counter irqsDropped_;
     sim::Counter watchdogPolls_;
+
+    // Observability (null / zero without an attached obs::Hub).
+    obs::Histogram* obRxBatch_ = nullptr; ///< Frames per softirq drain.
+    int tracePid_ = 0;
 };
 
 } // namespace octo::os

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "mem/cache.hpp"
+#include "obs/hub.hpp"
 #include "sim/pipe.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
@@ -47,6 +48,7 @@ class PciFunction
           fromHost_(host.sim(), lanes * host.cal().pcieLaneGbps,
                     host.cal().pcieLatency, name + ".down")
     {
+        initObs(name);
     }
 
     int node() const { return node_; }
@@ -173,6 +175,7 @@ class PciFunction
     Task<mem::DataLoc>
     dmaWrite(int mem_node, std::uint64_t bytes)
     {
+        const Tick start = host_.sim().now();
         co_await toHost_.transfer(bytes);
         const mem::DataLoc loc =
             host_.llc(mem_node).dmaWriteLocation(node_, mem_node);
@@ -182,6 +185,16 @@ class PciFunction
             co_await host_.memTransfer(node_, mem_node, bytes,
                                        topo::MemDir::Write, 1.0,
                                        fairClass_);
+        }
+        recordDma(bytes, mem_node, loc == mem::DataLoc::Llc);
+        if (auto* tr = obs::tracer(host_.sim(), obs::kCatDma)) {
+            tr->complete(
+                obs::kCatDma, "dma_write", tracePid_, traceTid_, start,
+                host_.sim().now(),
+                {{"bytes", bytes},
+                 {"mem_node", mem_node},
+                 {"local", mem_node == node_ ? 1 : 0},
+                 {"loc", loc == mem::DataLoc::Llc ? "llc" : "dram"}});
         }
         co_return loc;
     }
@@ -201,7 +214,9 @@ class PciFunction
     dmaRead(int mem_node, std::uint64_t bytes, mem::DataLoc loc)
     {
         const Tick start = host_.sim().now();
-        if (loc == mem::DataLoc::Llc && mem_node == node_) {
+        const bool llc_hit = loc == mem::DataLoc::Llc &&
+                             mem_node == node_;
+        if (llc_hit) {
             co_await sim::delay(host_.sim(), host_.cal().llcLatency);
         } else {
             co_await host_.memTransfer(node_, mem_node, bytes,
@@ -209,6 +224,15 @@ class PciFunction
                                        fairClass_);
         }
         co_await fromHost_.transfer(bytes);
+        recordDma(bytes, mem_node, llc_hit);
+        if (auto* tr = obs::tracer(host_.sim(), obs::kCatDma)) {
+            tr->complete(obs::kCatDma, "dma_read", tracePid_, traceTid_,
+                         start, host_.sim().now(),
+                         {{"bytes", bytes},
+                          {"mem_node", mem_node},
+                          {"local", mem_node == node_ ? 1 : 0},
+                          {"loc", llc_hit ? "llc" : "dram"}});
+        }
         co_return host_.sim().now() - start;
     }
 
@@ -237,6 +261,68 @@ class PciFunction
         return next++;
     }
 
+    /**
+     * Register this PF's instruments when a hub is attached: locality
+     * counters keyed {dev, pf, node} plus callback-backed link health
+     * gauges and per-direction byte counters mirroring the pipes.
+     * Without a hub every pointer stays null and recordDma is inert.
+     */
+    void
+    initObs(const std::string& name)
+    {
+        obs::Hub* h = obs::hub(host_.sim());
+        if (h == nullptr)
+            return;
+        // "octoNIC.pf0" -> dev "octoNIC"; names without a dot are their
+        // own device.
+        const auto dot = name.rfind('.');
+        const std::string dev =
+            dot == std::string::npos ? name : name.substr(0, dot);
+        const std::string pf =
+            dot == std::string::npos ? name : name.substr(dot + 1);
+        const obs::Labels l = {
+            {"dev", dev}, {"pf", pf}, {"node", std::to_string(node_)}};
+        obs::MetricRegistry& reg = h->metrics();
+        obLocal_ = &reg.counter("dma_local_bytes", l);
+        obRemote_ = &reg.counter("dma_remote_bytes", l);
+        obCross_ = &reg.counter("interconnect_crossings", l);
+        obDdioHit_ = &reg.counter("ddio_hits", l);
+        obDdioMiss_ = &reg.counter("ddio_misses", l);
+        reg.counterFn("pcie_to_host_bytes", l,
+                      [this] { return toHost_.totalBytes(); });
+        reg.counterFn("pcie_from_host_bytes", l,
+                      [this] { return fromHost_.totalBytes(); });
+        reg.counterFn("pcie_correctable_errors", l,
+                      [this] { return correctableErrors_; });
+        reg.counterFn("pcie_uncorrectable_errors", l,
+                      [this] { return uncorrectableErrors_; });
+        reg.gaugeFn("pcie_bw_fraction", l,
+                    [this] { return bwFraction(); });
+        reg.gaugeFn("pcie_link_up", l,
+                    [this] { return linkUp_ ? 1.0 : 0.0; });
+        tracePid_ = h->pidFor(dev);
+        traceTid_ = 100 + id_;
+        h->tracer().threadName(tracePid_, traceTid_, pf + ".dma");
+    }
+
+    /** Per-PF locality/DDIO bookkeeping for one DMA op. */
+    void
+    recordDma(std::uint64_t bytes, int mem_node, bool ddio_hit)
+    {
+        if (obLocal_ == nullptr)
+            return;
+        if (mem_node == node_) {
+            obLocal_->add(bytes);
+        } else {
+            obRemote_->add(bytes);
+            obCross_->add();
+        }
+        if (ddio_hit)
+            obDdioHit_->add();
+        else
+            obDdioMiss_->add();
+    }
+
     void
     applyRate()
     {
@@ -262,6 +348,14 @@ class PciFunction
     std::uint64_t degradeEvents_ = 0;
     std::uint64_t correctableErrors_ = 0;
     std::uint64_t uncorrectableErrors_ = 0;
+
+    obs::Counter* obLocal_ = nullptr;
+    obs::Counter* obRemote_ = nullptr;
+    obs::Counter* obCross_ = nullptr;
+    obs::Counter* obDdioHit_ = nullptr;
+    obs::Counter* obDdioMiss_ = nullptr;
+    int tracePid_ = 0;
+    int traceTid_ = 0;
 };
 
 } // namespace octo::pcie

@@ -18,6 +18,10 @@
 
 #include "sim/time.hpp"
 
+namespace octo::obs {
+class Hub;
+}
+
 namespace octo::sim {
 
 /**
@@ -68,6 +72,16 @@ class Simulator
     /** Number of events processed since construction. */
     std::uint64_t eventsProcessed() const { return processed_; }
 
+    /**
+     * Attach/detach an observability hub (metrics + tracing). Must be
+     * attached *before* model components are constructed — they
+     * register instruments and cache pointers at construction time.
+     * The simulator only carries the pointer (no obs dependency);
+     * components reach it via obs::hub()/metrics()/tracer().
+     */
+    void setHub(obs::Hub* h) { hub_ = h; }
+    obs::Hub* hub() const { return hub_; }
+
   private:
     struct Event
     {
@@ -90,6 +104,7 @@ class Simulator
     Tick now_ = 0;
     std::uint64_t seq_ = 0;
     std::uint64_t processed_ = 0;
+    obs::Hub* hub_ = nullptr;
 };
 
 } // namespace octo::sim

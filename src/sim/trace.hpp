@@ -23,6 +23,14 @@
 
 namespace octo::sim {
 
+/** What a probe's cumulative counter measures — selects the rate unit
+ *  used for CSV export (bytes → Gb/s, events → events/s). */
+enum class ProbeUnit
+{
+    Bytes,  ///< Exported as `<name>_gbps`.
+    Events, ///< Exported as `<name>_per_s`.
+};
+
 /** Periodic sampler of cumulative counters, yielding per-window rates. */
 class TimeSeries
 {
@@ -38,11 +46,13 @@ class TimeSeries
 
     /** Register a probe; call before start(). */
     void
-    addProbe(std::string name, Probe probe)
+    addProbe(std::string name, Probe probe,
+             ProbeUnit unit = ProbeUnit::Bytes)
     {
         names_.push_back(std::move(name));
         probes_.push_back(std::move(probe));
         prev_.push_back(0);
+        units_.push_back(unit);
     }
 
     void
@@ -76,6 +86,18 @@ class TimeSeries
         return toGbps(at(probe, idx), period_);
     }
 
+    /** Unit probe @p i was registered with. */
+    ProbeUnit probeUnit(std::size_t i) const { return units_.at(i); }
+
+    /** Probe @p probe at sample @p idx as an events-per-second rate. */
+    double
+    ratePerSecAt(std::size_t probe, std::size_t idx) const
+    {
+        return static_cast<double>(at(probe, idx)) *
+               (static_cast<double>(kTickPerSec) /
+                static_cast<double>(period_));
+    }
+
     /** Timestamp (window end) of sample @p idx. */
     Tick
     timeAt(std::size_t idx) const
@@ -83,18 +105,26 @@ class TimeSeries
         return startAt_ + static_cast<Tick>(idx + 1) * period_;
     }
 
-    /** Dump all series as CSV (time in ms, rates in Gb/s). */
+    /** Dump all series as CSV (time in ms; byte probes as Gb/s, event
+     *  probes as events/s — the suffix says which). */
     void
     writeCsv(std::FILE* out) const
     {
         std::fprintf(out, "time_ms");
-        for (const auto& n : names_)
-            std::fprintf(out, ",%s_gbps", n.c_str());
+        for (std::size_t p = 0; p < names_.size(); ++p) {
+            std::fprintf(out, ",%s%s", names_[p].c_str(),
+                         units_[p] == ProbeUnit::Bytes ? "_gbps"
+                                                       : "_per_s");
+        }
         std::fprintf(out, "\n");
         for (std::size_t i = 0; i < samples_.size(); ++i) {
             std::fprintf(out, "%.3f", toMs(timeAt(i)));
-            for (std::size_t p = 0; p < probes_.size(); ++p)
-                std::fprintf(out, ",%.3f", gbpsAt(p, i));
+            for (std::size_t p = 0; p < probes_.size(); ++p) {
+                std::fprintf(out, ",%.3f",
+                             units_[p] == ProbeUnit::Bytes
+                                 ? gbpsAt(p, i)
+                                 : ratePerSecAt(p, i));
+            }
             std::fprintf(out, "\n");
         }
     }
@@ -119,6 +149,7 @@ class TimeSeries
     Tick period_;
     std::vector<std::string> names_;
     std::vector<Probe> probes_;
+    std::vector<ProbeUnit> units_;
     std::vector<std::uint64_t> prev_;
     std::vector<std::vector<std::uint64_t>> samples_;
     Tick startAt_ = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/hub.hpp"
+
 namespace octo::topo {
 
 Machine::Machine(sim::Simulator& sim, const Calibration& cal,
@@ -28,6 +30,34 @@ Machine::Machine(sim::Simulator& sim, const Calibration& cal,
                 name_ + ".qpi" + std::to_string(a) + std::to_string(b)));
         }
     }
+    if (obs::MetricRegistry* reg = obs::metrics(sim_)) {
+        // Machine-grain instruments: memory-controller traffic per node
+        // and interconnect traffic + crossings per directed link. The
+        // byte counters mirror the pipes' own totals via callbacks;
+        // crossings need a dedicated counter (incremented in
+        // memTransfer) because pipes count bytes, not operations.
+        for (int n = 0; n < cal_.nodes; ++n) {
+            reg->counterFn(
+                "dram_bytes",
+                {{"host", name_}, {"node", std::to_string(n)}},
+                [p = drams_[n].get()] { return p->totalBytes(); });
+        }
+        obQpiCross_.resize(links_.size(), nullptr);
+        for (int a = 0; a < cal_.nodes; ++a) {
+            for (int b = 0; b < cal_.nodes; ++b) {
+                if (a == b)
+                    continue;
+                const obs::Labels l = {{"host", name_},
+                                       {"from", std::to_string(a)},
+                                       {"to", std::to_string(b)}};
+                const int idx = a * cal_.nodes + b;
+                reg->counterFn(
+                    "qpi_bytes", l,
+                    [p = links_[idx].get()] { return p->totalBytes(); });
+                obQpiCross_[idx] = &reg->counter("qpi_crossings", l);
+            }
+        }
+    }
 }
 
 Task<Tick>
@@ -43,6 +73,8 @@ Machine::memTransfer(int agent_node, int mem_node, std::uint64_t bytes,
         const int from = dir == MemDir::Read ? mem_node : agent_node;
         const int to = dir == MemDir::Read ? agent_node : mem_node;
         const int cls = fair_class >= 0 ? fair_class : 50 + agent_node;
+        if (!obQpiCross_.empty())
+            obQpiCross_[from * cal_.nodes + to]->add();
         co_await qpi(from, to).transfer(cls, bytes);
         lead += cal_.qpiLatency;
     }

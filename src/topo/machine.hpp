@@ -20,6 +20,10 @@
 #include "sim/task.hpp"
 #include "topo/calibration.hpp"
 
+namespace octo::obs {
+class Counter;
+}
+
 namespace octo::topo {
 
 using sim::Task;
@@ -180,6 +184,9 @@ class Machine
     std::vector<std::unique_ptr<mem::LlcModel>> llcs_;
     std::vector<std::unique_ptr<sim::Pipe>> drams_;
     std::vector<std::unique_ptr<sim::FairPipe>> links_;
+    /** Per-link crossing counters (null without a hub); indexed like
+     *  links_. Incremented once per memTransfer that traverses QPI. */
+    std::vector<obs::Counter*> obQpiCross_;
     double qpiScale_ = 1.0;
     std::uint64_t qpiDegradeEvents_ = 0;
 };

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the metric registry: instrument identity (name + canonical
+ * labels), callback instruments and freeze(), histogram percentile
+ * bounds, and the exporters.
+ */
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hpp"
+
+namespace octo::obs {
+namespace {
+
+TEST(MetricRegistry, LabelOrderIsCanonicalized)
+{
+    MetricRegistry reg;
+    Counter& a = reg.counter("frames", {{"dev", "nic0"}, {"q", "1"}});
+    Counter& b = reg.counter("frames", {{"q", "1"}, {"dev", "nic0"}});
+    EXPECT_EQ(&a, &b) << "label order must not create a new instrument";
+    a.add(3);
+    EXPECT_EQ(b.value(), 3u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistry, DistinctLabelsDistinctInstruments)
+{
+    MetricRegistry reg;
+    Counter& a = reg.counter("frames", {{"q", "0"}});
+    Counter& b = reg.counter("frames", {{"q", "1"}});
+    EXPECT_NE(&a, &b);
+    EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(MetricRegistry, ReRegistrationReturnsSameInstrument)
+{
+    MetricRegistry reg;
+    Counter& a = reg.counter("x");
+    a.add(7);
+    Counter& b = reg.counter("x");
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(b.value(), 7u);
+}
+
+TEST(MetricRegistry, FindMatchesKindAndLabels)
+{
+    MetricRegistry reg;
+    reg.counter("hits", {{"dev", "d"}}).add(5);
+    reg.gauge("weight", {{"pf", "0"}}).set(0.25);
+
+    const Counter* c = reg.findCounter("hits", {{"dev", "d"}});
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), 5u);
+    EXPECT_EQ(reg.findCounter("hits", {{"dev", "other"}}), nullptr);
+    EXPECT_EQ(reg.findCounter("weight", {{"pf", "0"}}), nullptr)
+        << "kind mismatch must not resolve";
+    const Gauge* g = reg.findGauge("weight", {{"pf", "0"}});
+    ASSERT_NE(g, nullptr);
+    EXPECT_DOUBLE_EQ(g->value(), 0.25);
+}
+
+TEST(MetricRegistry, BaseLabelsStampSubsequentInstruments)
+{
+    MetricRegistry reg;
+    reg.setBaseLabels({{"run", "ioctopus"}});
+    reg.counter("bytes", {{"dev", "d"}}).add(9);
+    reg.setBaseLabels({});
+
+    EXPECT_EQ(reg.findCounter("bytes", {{"dev", "d"}}), nullptr)
+        << "lookup must use the full stamped label set";
+    const Counter* c =
+        reg.findCounter("bytes", {{"dev", "d"}, {"run", "ioctopus"}});
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(c->value(), 9u);
+}
+
+TEST(MetricRegistry, CallbackCounterMirrorsAndFreezes)
+{
+    MetricRegistry reg;
+    std::uint64_t model = 0;
+    double gmodel = 0;
+    Counter& c = reg.counterFn("mirror", {}, [&] { return model; });
+    Gauge& g = reg.gaugeFn("gmirror", {}, [&] { return gmodel; });
+
+    model = 42;
+    gmodel = 1.5;
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+
+    reg.freeze();
+    // Post-freeze the instruments hold snapshots; mutating (or
+    // destroying) the backing model no longer matters.
+    model = 999;
+    gmodel = -3.0;
+    EXPECT_EQ(c.value(), 42u);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+TEST(MetricRegistry, SumCountersFiltersOnLabelSubset)
+{
+    MetricRegistry reg;
+    reg.counter("b", {{"dev", "nic"}, {"pf", "0"}}).add(100);
+    reg.counter("b", {{"dev", "nic"}, {"pf", "1"}}).add(23);
+    reg.counter("b", {{"dev", "ssd"}, {"pf", "0"}}).add(1000);
+    EXPECT_EQ(reg.sumCounters("b"), 1123u);
+    EXPECT_EQ(reg.sumCounters("b", {{"dev", "nic"}}), 123u);
+    EXPECT_EQ(reg.sumCounters("b", {{"dev", "nic"}, {"pf", "1"}}), 23u);
+    EXPECT_EQ(reg.sumCounters("b", {{"dev", "gone"}}), 0u);
+}
+
+TEST(Histogram, ExactStatsAndZeroBucket)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+    h.record(0.0);
+    h.record(8.0);
+    h.record(32.0);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_DOUBLE_EQ(h.sum(), 40.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 32.0);
+    EXPECT_EQ(h.zeroCount(), 1u);
+}
+
+TEST(Histogram, PercentilesWithinBucketErrorBound)
+{
+    // Uniform 1..1000: the log buckets guarantee a relative error no
+    // worse than the bucket ratio, 2^(1/4)-1 ~ 19%.
+    Histogram h;
+    for (int v = 1; v <= 1000; ++v)
+        h.record(static_cast<double>(v));
+
+    const struct
+    {
+        double p;
+        double expect;
+    } cases[] = {{50.0, 500.0}, {90.0, 900.0}, {99.0, 990.0}};
+    for (const auto& c : cases) {
+        const double got = h.percentile(c.p);
+        EXPECT_GT(got, c.expect * 0.81) << "p" << c.p;
+        EXPECT_LT(got, c.expect * 1.19) << "p" << c.p;
+    }
+    // p100 lands in the top bucket's geometric midpoint, clamped by the
+    // observed max.
+    EXPECT_GT(h.percentile(100), 1000.0 * 0.81);
+    EXPECT_LE(h.percentile(100), 1000.0);
+}
+
+TEST(MetricRegistry, PrometheusExportIsDeterministic)
+{
+    MetricRegistry reg;
+    reg.counter("zeta", {{"b", "2"}}).add(1);
+    reg.counter("alpha", {{"a", "1"}}).add(2);
+    reg.gauge("mid").set(0.5);
+    reg.histogram("lat").record(10.0);
+
+    const std::string text = reg.prometheusText();
+    EXPECT_NE(text.find("alpha{a=\"1\"} 2"), std::string::npos) << text;
+    EXPECT_NE(text.find("zeta{b=\"2\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE alpha counter"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE mid gauge"), std::string::npos);
+    EXPECT_NE(text.find("lat_count"), std::string::npos);
+    EXPECT_LT(text.find("alpha"), text.find("zeta"))
+        << "export must sort by identity";
+    EXPECT_EQ(text, reg.prometheusText()) << "repeat export identical";
+}
+
+TEST(MetricRegistry, CsvExportListsEveryInstrument)
+{
+    MetricRegistry reg;
+    reg.counter("c", {{"k", "v"}}).add(4);
+    reg.histogram("h").record(2.0);
+
+    std::FILE* f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    reg.writeCsv(f);
+    std::rewind(f);
+    std::string all;
+    char buf[256];
+    while (std::fgets(buf, sizeof buf, f) != nullptr)
+        all += buf;
+    std::fclose(f);
+    EXPECT_NE(all.find("c"), std::string::npos);
+    EXPECT_NE(all.find("4"), std::string::npos);
+    EXPECT_NE(all.find("h"), std::string::npos);
+}
+
+} // namespace
+} // namespace octo::obs

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the Perfetto trace-event tracer: JSON well-formedness,
+ * category masking, the event cap, and cross-run determinism of a fully
+ * traced testbed run.
+ */
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/testbed.hpp"
+#include "obs/hub.hpp"
+#include "obs/trace.hpp"
+#include "workloads/netperf.hpp"
+
+namespace octo::obs {
+namespace {
+
+/** Shallow structural validation: balanced braces/brackets outside
+ *  strings. Enough to catch emitter bugs without a JSON parser (CI
+ *  additionally json.load()s the bench output). */
+bool
+balanced(const std::string& doc)
+{
+    int depth = 0;
+    bool in_str = false;
+    for (std::size_t i = 0; i < doc.size(); ++i) {
+        const char c = doc[i];
+        if (in_str) {
+            if (c == '\\')
+                ++i;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        if (c == '"')
+            in_str = true;
+        else if (c == '{' || c == '[')
+            ++depth;
+        else if (c == '}' || c == ']') {
+            if (--depth < 0)
+                return false;
+        }
+    }
+    return depth == 0 && !in_str;
+}
+
+TEST(Tracer, DisabledByDefaultAndMaskable)
+{
+    Tracer tr;
+    EXPECT_FALSE(tr.enabled());
+    tr.complete(kCatDma, "x", 1, 0, 0, 10);
+    EXPECT_EQ(tr.eventCount(), 0u);
+
+    tr.enable(kCatDma | kCatHealth);
+    EXPECT_TRUE(tr.wants(kCatDma));
+    EXPECT_FALSE(tr.wants(kCatQueue));
+    tr.complete(kCatDma, "dma", 1, 0, 0, 10);
+    tr.instant(kCatQueue, "filtered", 1, 0, 5);
+    tr.instant(kCatHealth, "verdict", 1, 0, 5);
+    EXPECT_EQ(tr.eventCount(), 2u);
+    EXPECT_EQ(tr.droppedEvents(), 0u)
+        << "mask-filtered events are not drops";
+}
+
+TEST(Tracer, JsonDocumentShape)
+{
+    Tracer tr;
+    tr.enable();
+    tr.processName(1, "srv/octoNIC");
+    tr.threadName(1, 3, "q3");
+    tr.complete(kCatDma, "dma_write", 1, 3, sim::fromUs(5),
+                sim::fromUs(7),
+                {{"bytes", std::uint64_t{4096}},
+                 {"local", 1},
+                 {"loc", "llc"},
+                 {"frac", 0.5}});
+    tr.instant(kCatSteer, "steer \"quoted\"\n", 1, 3, sim::fromUs(9));
+
+    const std::string doc = tr.json();
+    EXPECT_TRUE(balanced(doc)) << doc;
+    EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(doc.find("\"ph\":\"i\""), std::string::npos);
+    // Picosecond ticks surface as exact microseconds.
+    EXPECT_NE(doc.find("\"ts\":5.000000"), std::string::npos);
+    EXPECT_NE(doc.find("\"dur\":2.000000"), std::string::npos);
+    EXPECT_NE(doc.find("\"bytes\":4096"), std::string::npos);
+    EXPECT_NE(doc.find("\"loc\":\"llc\""), std::string::npos);
+    // Quotes/newlines in names must come out escaped.
+    EXPECT_NE(doc.find("steer \\\"quoted\\\"\\u000a"), std::string::npos);
+}
+
+TEST(Tracer, EventCapCountsDropsButKeepsMetadata)
+{
+    Tracer tr;
+    tr.enable();
+    tr.setMaxEvents(2);
+    for (int i = 0; i < 5; ++i)
+        tr.instant(kCatApp, "e", 1, 0, sim::fromUs(i));
+    tr.processName(9, "late-meta");
+    EXPECT_EQ(tr.eventCount(), 2u);
+    EXPECT_EQ(tr.droppedEvents(), 3u);
+    const std::string doc = tr.json();
+    EXPECT_NE(doc.find("late-meta"), std::string::npos)
+        << "metadata is exempt from the cap";
+    EXPECT_NE(doc.find("\"droppedEvents\":\"3\""), std::string::npos);
+}
+
+/** One fully traced 2 ms Rx run; returns the trace document. */
+std::string
+tracedRun()
+{
+    Hub hub;
+    hub.tracer().enable(kCatAll);
+    hub.setRun("det");
+    core::TestbedConfig cfg;
+    cfg.mode = core::ServerMode::Ioctopus;
+    cfg.hub = &hub;
+    core::Testbed tb(cfg);
+    auto server_t = tb.serverThread(tb.workNode(), 0);
+    auto client_t = tb.clientThread(0);
+    workloads::NetperfStream stream(tb, server_t, client_t, 16384,
+                                    workloads::StreamDir::ServerRx);
+    stream.start();
+    tb.runFor(sim::fromMs(2));
+    hub.metrics().freeze();
+    return hub.tracer().json();
+}
+
+TEST(Tracer, TestbedTraceIsDeterministicAcrossRuns)
+{
+    const std::string a = tracedRun();
+    const std::string b = tracedRun();
+    EXPECT_GT(a.size(), 1000u) << "the run should emit real events";
+    EXPECT_TRUE(balanced(a));
+    EXPECT_EQ(a, b) << "identical runs must produce identical traces";
+}
+
+} // namespace
+} // namespace octo::obs

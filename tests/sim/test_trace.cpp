@@ -146,5 +146,40 @@ TEST(TimeSeries, CsvExportRoundTrip)
     EXPECT_DOUBLE_EQ(ts.gbpsAt(1, 1), 20.0);
 }
 
+TEST(TimeSeries, EventProbeUnitsExportPerSecond)
+{
+    Simulator sim;
+    std::uint64_t bytes = 0, events = 0;
+    TimeSeries ts(sim, fromMs(1));
+    ts.addProbe("rx", [&] { return bytes; });
+    ts.addProbe("steer", [&] { return events; }, ProbeUnit::Events);
+    ASSERT_EQ(ts.probeUnit(0), ProbeUnit::Bytes);
+    ASSERT_EQ(ts.probeUnit(1), ProbeUnit::Events);
+    ts.start();
+    // 1.25 MB and 500 events inside the 1 ms window.
+    sim.schedule(fromUs(500), [&] {
+        bytes = 1'250'000;
+        events = 500;
+    });
+    sim.runUntil(fromMs(1));
+    ASSERT_EQ(ts.sampleCount(), 1u);
+    EXPECT_DOUBLE_EQ(ts.gbpsAt(0, 0), 10.0);
+    // 500 events per ms = 500k events/s.
+    EXPECT_DOUBLE_EQ(ts.ratePerSecAt(1, 0), 500'000.0);
+
+    std::FILE* f = std::tmpfile();
+    ASSERT_NE(f, nullptr);
+    ts.writeCsv(f);
+    std::rewind(f);
+    char header[128];
+    ASSERT_NE(std::fgets(header, sizeof header, f), nullptr);
+    EXPECT_STREQ(header, "time_ms,rx_gbps,steer_per_s\n");
+    double t = 0, rx = 0, steer = 0;
+    ASSERT_EQ(std::fscanf(f, "%lf,%lf,%lf\n", &t, &rx, &steer), 3);
+    EXPECT_NEAR(rx, 10.0, 1e-3);
+    EXPECT_NEAR(steer, 500'000.0, 1e-1);
+    std::fclose(f);
+}
+
 } // namespace
 } // namespace octo::sim
