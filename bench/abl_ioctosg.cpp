@@ -27,10 +27,11 @@ struct SgResult
 };
 
 SgResult
-runSg(bool octo_sg)
+runSg(bool octo_sg, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = ServerMode::Ioctopus;
+    obsBegin(obs, cfg, octo_sg ? "ioctosg" : "no-ioctosg");
     Testbed tb(cfg);
     tb.serverNic().setOctoSg(octo_sg);
 
@@ -64,14 +65,19 @@ runSg(bool octo_sg)
         }
     };
     auto loop = sim::spawn(poster);
+    if (obs != nullptr)
+        obs->startSampler(tb);
 
     tb.runFor(kWarmup);
     const std::uint64_t p0 = posted;
     const std::uint64_t q0 = tb.server().qpiBytesTotal();
     tb.runFor(kWindow);
-    return SgResult{
+    SgResult res{
         sim::toGbps((posted - p0) * (64ull << 10), kWindow),
         sim::toGbps(tb.server().qpiBytesTotal() - q0, kWindow)};
+    if (obs != nullptr)
+        obs->endRun();
+    return res;
 }
 
 } // namespace
@@ -79,13 +85,14 @@ runSg(bool octo_sg)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "abl_ioctosg");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Ablation — IOctoSG for node-spanning Tx buffers",
                 "config        tput[Gb/s]  qpi[Gb/s]");
-    const auto off = runSg(false);
-    const auto on = runSg(true);
+    const auto off = runSg(false, &obs);
+    const auto on = runSg(true, &obs);
     std::printf("%-13s %10.2f %10.2f\n", "no IOctoSG", off.gbps,
                 off.qpiGbps);
     std::printf("%-13s %10.2f %10.2f\n", "IOctoSG", on.gbps,
@@ -94,5 +101,6 @@ main(int argc, char** argv)
                 "traffic of the far fragments\n(qpi -> ~0) and lifts "
                 "throughput when the remote fetch path is the "
                 "bottleneck.\n");
+    obs.finish();
     return 0;
 }

@@ -33,10 +33,15 @@ struct SchedResult
 };
 
 SchedResult
-runSched(ServerMode mode, os::SchedPolicy policy)
+runSched(ServerMode mode, os::SchedPolicy policy,
+         ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = mode;
+    obsBegin(obs, cfg,
+             std::string(core::modeName(mode)) + "/" +
+                 (policy == os::SchedPolicy::NicLocal ? "nic-local"
+                                                      : "free"));
     Testbed tb(cfg);
 
     // Batch hogs on 10 of the 14 NIC-local cores.
@@ -65,6 +70,8 @@ runSched(ServerMode mode, os::SchedPolicy policy)
     for (auto& s : streams)
         lb.manage(s->pair().serverCtx);
     lb.start();
+    if (obs != nullptr)
+        obs->startSampler(tb);
 
     tb.runFor(sim::fromMs(20)); // let the balancer settle
     std::uint64_t b0 = 0;
@@ -74,8 +81,11 @@ runSched(ServerMode mode, os::SchedPolicy policy)
     std::uint64_t b1 = 0;
     for (auto& s : streams)
         b1 += s->bytesDelivered();
-    return SchedResult{sim::toGbps(b1 - b0, sim::fromMs(40)),
-                       lb.migrations()};
+    SchedResult res{sim::toGbps(b1 - b0, sim::fromMs(40)),
+                    lb.migrations()};
+    if (obs != nullptr)
+        obs->endRun();
+    return res;
 }
 
 } // namespace
@@ -83,6 +93,7 @@ runSched(ServerMode mode, os::SchedPolicy policy)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "abl_scheduler");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -103,12 +114,13 @@ main(int argc, char** argv)
          "octoNIC    free     "},
     };
     for (const Row& r : rows) {
-        const auto res = runSched(r.mode, r.policy);
+        const auto res = runSched(r.mode, r.policy, &obs);
         std::printf("%-22s %10.2f %11llu\n", r.label, res.gbps,
                     static_cast<unsigned long long>(res.migrations));
     }
     std::printf("\nShape check: the free balancer beats nic-local "
                 "pinning only when the NIC is an\noctoNIC — otherwise "
                 "the escape to the idle socket pays NUDMA (§3.4).\n");
+    obs.finish();
     return 0;
 }

@@ -15,23 +15,33 @@ using namespace octo::bench;
 namespace {
 
 double
-runWith(ServerMode mode, sim::Tick coalesce, std::uint64_t window)
+runWith(ServerMode mode, sim::Tick coalesce, std::uint64_t window,
+        ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = mode;
     cfg.rxCoalesce = coalesce;
     if (window != 0)
         cfg.stack.windowBytes = window;
+    obsBegin(obs, cfg,
+             std::string(core::modeName(mode)) + "/" +
+                 std::to_string(sim::toUs(coalesce)) + "us/" +
+                 std::to_string(window >> 10) + "KB");
     Testbed tb(cfg);
     auto server_t = tb.serverThread(tb.workNode(), 0);
     auto client_t = tb.clientThread(0);
     workloads::NetperfStream stream(tb, server_t, client_t, 64 << 10,
                                     workloads::StreamDir::ServerRx);
     stream.start();
+    if (obs != nullptr)
+        obs->startSampler(tb);
     tb.runFor(kWarmup);
     Probe probe(tb, {&server_t.core()}, stream.bytesDelivered());
     tb.runFor(kWindow);
-    return probe.gbps(stream.bytesDelivered());
+    const double gbps = probe.gbps(stream.bytesDelivered());
+    if (obs != nullptr)
+        obs->endRun();
+    return gbps;
 }
 
 } // namespace
@@ -39,6 +49,7 @@ runWith(ServerMode mode, sim::Tick coalesce, std::uint64_t window)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "abl_sensitivity");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -58,5 +69,11 @@ main(int argc, char** argv)
     }
     std::printf("\nShape check: the ioct/remote ratio stays ~1.2-1.3 "
                 "across all knob settings.\n");
+    if (obs) {
+        // Observability pass: the default-knob point, both presets.
+        for (auto mode : {ServerMode::Ioctopus, ServerMode::Remote})
+            runWith(mode, sim::fromUs(10), 0, &obs);
+    }
+    obs.finish();
     return 0;
 }

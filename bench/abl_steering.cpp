@@ -23,10 +23,12 @@ struct SteeringResult
 };
 
 SteeringResult
-runPingPong(sim::Tick period)
+runPingPong(sim::Tick period, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = ServerMode::Ioctopus;
+    obsBegin(obs, cfg,
+             "pingpong/" + std::to_string(sim::toUs(period)) + "us");
     Testbed tb(cfg);
     auto server_t = tb.serverThread(0, 0);
     auto client_t = tb.clientThread(0);
@@ -45,15 +47,20 @@ runPingPong(sim::Tick period)
         }
     };
     auto loop = sim::spawn(bouncer);
+    if (obs != nullptr)
+        obs->startSampler(tb);
 
     tb.runFor(kWarmup);
     const auto b0 = stream.bytesDelivered();
     const auto o0 = stream.serverSocket().oooEvents;
     tb.runFor(kWindow);
-    return SteeringResult{
+    SteeringResult res{
         sim::toGbps(stream.bytesDelivered() - b0, kWindow),
         stream.serverSocket().oooEvents - o0,
         tb.serverStack(0).steeringUpdates()};
+    if (obs != nullptr)
+        obs->endRun();
+    return res;
 }
 
 } // namespace
@@ -61,6 +68,7 @@ runPingPong(sim::Tick period)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "abl_steering");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -81,5 +89,12 @@ main(int argc, char** argv)
                 "two cores (raising throughput) at\nthe price of "
                 "growing reordering, exactly the trade IOctoRFS "
                 "exists to avoid.\n");
+    if (obs) {
+        // Observability pass: one tame and one pathological period —
+        // the per-PF rx tracks show the ping-pong directly.
+        runPingPong(sim::fromMs(10), &obs);
+        runPingPong(sim::fromUs(500), &obs);
+    }
+    obs.finish();
     return 0;
 }

@@ -38,13 +38,16 @@ constexpr sim::Tick kSample = sim::fromMs(10);
 /** One timeline run; returns application bytes delivered inside the
  *  degraded window [degrade+10ms, restore). */
 std::uint64_t
-runTimeline(bool monitored, bool print)
+runTimeline(bool monitored, bool print, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = ServerMode::Ioctopus;
-    cfg.healthMonitor = monitored;
     cfg.faults.pcieWidthDegrade(kDegradeAt, 0, 2)
         .pcieRestore(kRestoreAt, 0);
+    obsBegin(obs, cfg, monitored ? "monitored" : "unmonitored");
+    // After obsBegin: the monitor is this run's comparison knob, not an
+    // observability convenience, so the explicit setting must win.
+    cfg.healthMonitor = monitored;
     Testbed tb(cfg);
 
     // The workload runs on node 0, so steering parks the rings behind
@@ -73,6 +76,10 @@ runTimeline(bool monitored, bool print)
     series.addProbe("pf1", [&] { return tb.serverNic().pfRxBytes(1); });
     series.addProbe("app", app_bytes);
     series.start();
+    // The sampled run shows the weight collapse and the probation
+    // ramp directly as pfN_health_weight counter tracks.
+    if (obs != nullptr)
+        obs->startSampler(tb);
 
     // Step the run sample-by-sample so the monitor's (non-cumulative)
     // steering weights can be recorded alongside the byte probes.
@@ -150,6 +157,8 @@ runTimeline(bool monitored, bool print)
             }
         }
     }
+    if (obs != nullptr)
+        obs->endRun();
     return degraded_bytes;
 }
 
@@ -158,14 +167,15 @@ runTimeline(bool monitored, bool print)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fault_degradation");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Graceful degradation — weighted steering under a sick "
                 "(not dead) PF",
                 "(time series below)");
-    const std::uint64_t with = runTimeline(true, true);
-    const std::uint64_t without = runTimeline(false, true);
+    const std::uint64_t with = runTimeline(true, true, &obs);
+    const std::uint64_t without = runTimeline(false, true, &obs);
 
     const double window_s = sim::toMs(kRestoreAt - kDegradeAt - kSample) /
                             1000.0;
@@ -174,6 +184,7 @@ main(int argc, char** argv)
                 static_cast<double>(with) * 8 / 1e9 / window_s,
                 static_cast<double>(without) * 8 / 1e9 / window_s,
                 without > 0 ? static_cast<double>(with) / without : 0.0);
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

@@ -23,11 +23,12 @@ using namespace octo::bench;
 namespace {
 
 void
-runFailoverTimeline()
+runFailoverTimeline(ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = ServerMode::Ioctopus;
     cfg.faults.pfKill(sim::fromMs(300), 1).pfRecover(sim::fromMs(600), 1);
+    obsBegin(obs, cfg, "failover");
     Testbed tb(cfg);
 
     // The workload runs on node 1, so steering parks its ring behind
@@ -43,6 +44,8 @@ runFailoverTimeline()
     series.addProbe("pf1", [&] { return tb.serverNic().pfRxBytes(1); });
     series.addProbe("app", [&] { return stream.bytesDelivered(); });
     series.start();
+    if (obs != nullptr)
+        obs->startSampler(tb);
 
     tb.runFor(sim::fromMs(1000));
 
@@ -74,6 +77,8 @@ runFailoverTimeline()
                 static_cast<unsigned long long>(stack.lostBytes()),
                 static_cast<unsigned long long>(
                     tb.clientStack().reclaimedBytes()));
+    if (obs != nullptr)
+        obs->endRun();
 }
 
 } // namespace
@@ -81,12 +86,14 @@ runFailoverTimeline()
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fault_failover");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
     printHeader("PF failover — fault injection on the octoNIC team",
                 "(time series below)");
-    runFailoverTimeline();
+    runFailoverTimeline(&obs);
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

@@ -51,29 +51,23 @@ registerAll()
 }
 
 /**
- * Observability pass (`--trace` / OCTO_TRACE): rerun the three presets
- * at 16 KiB against one hub, then dump the Perfetto trace and the
- * Prometheus snapshot. A short window keeps the trace within the event
- * cap while the DMA-locality counters still see tens of thousands of
- * transfers per preset.
+ * Observability pass (`--trace` / `--sample-us` / OCTO_TRACE): rerun
+ * the three presets at 16 KiB against the shared ObsSession, then dump
+ * the Perfetto trace, the Prometheus/CSV snapshot, and (when sampling)
+ * the report time series. A short window keeps the trace within the
+ * event cap while the DMA-locality counters still see tens of
+ * thousands of transfers per preset.
  */
 void
-runTraced()
+runTraced(ObsSession& obs)
 {
-    obs::Hub hub;
-    hub.tracer().enable(obs::kCatAll);
     for (auto mode : {ServerMode::Local, ServerMode::Remote,
                       ServerMode::Ioctopus}) {
-        hub.setRun(core::modeName(mode));
         runTcpStream(mode, 16384, workloads::StreamDir::ServerRx,
-                     sim::fromMs(2), sim::fromMs(3), &hub);
-    }
-    hub.tracer().writeFile("fig06_trace.json");
-    if (std::FILE* prom = std::fopen("fig06_metrics.prom", "w")) {
-        hub.metrics().writePrometheus(prom);
-        std::fclose(prom);
+                     sim::fromMs(2), sim::fromMs(3), &obs);
     }
 
+    obs::MetricRegistry& reg = obs.hub()->metrics();
     std::printf("\n# DMA locality, server NIC (16 KiB Rx, traced "
                 "pass)\n");
     std::printf("%-10s %16s %16s %9s %10s\n", "preset", "local[B]",
@@ -83,11 +77,11 @@ runTraced()
         const obs::Labels match = {{"dev", "octoNIC"},
                                    {"run", core::modeName(mode)}};
         const std::uint64_t local =
-            hub.metrics().sumCounters("dma_local_bytes", match);
+            reg.sumCounters("dma_local_bytes", match);
         const std::uint64_t remote =
-            hub.metrics().sumCounters("dma_remote_bytes", match);
+            reg.sumCounters("dma_remote_bytes", match);
         const std::uint64_t cross =
-            hub.metrics().sumCounters("interconnect_crossings", match);
+            reg.sumCounters("interconnect_crossings", match);
         const double total = static_cast<double>(local + remote);
         std::printf("%-10s %16llu %16llu %8.2f%% %10llu\n",
                     core::modeName(mode),
@@ -97,11 +91,23 @@ runTraced()
                               : 0.0,
                     static_cast<unsigned long long>(cross));
     }
-    std::printf("# wrote fig06_trace.json (%zu events, %llu dropped) "
-                "and fig06_metrics.prom\n",
-                hub.tracer().eventCount(),
-                static_cast<unsigned long long>(
-                    hub.tracer().droppedEvents()));
+
+    // E2e latency per preset: the paper's prediction is remote > ioct.
+    std::printf("\n# latency_e2e_ns (wire arrival -> recv copy)\n");
+    std::printf("%-10s %12s %12s %12s %12s\n", "preset", "count", "p50",
+                "p99", "mean");
+    for (auto mode : {ServerMode::Local, ServerMode::Remote,
+                      ServerMode::Ioctopus}) {
+        const obs::Histogram* h = reg.findHistogram(
+            "latency_e2e_ns",
+            {{"dev", "octoNIC"}, {"run", core::modeName(mode)}});
+        if (h == nullptr)
+            continue;
+        std::printf("%-10s %12llu %12.0f %12.0f %12.0f\n",
+                    core::modeName(mode),
+                    static_cast<unsigned long long>(h->count()),
+                    h->p50(), h->p99(), h->mean());
+    }
 }
 
 } // namespace
@@ -109,7 +115,7 @@ runTraced()
 int
 main(int argc, char** argv)
 {
-    const bool traced = consumeTraceFlag(argc, argv);
+    ObsSession obs(consumeObsFlags(argc, argv), "fig06");
     registerAll();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
@@ -133,8 +139,9 @@ main(int argc, char** argv)
                     o.gbps, o.gbps / r.gbps,
                     r.membwGbps / r.gbps);
     }
-    if (traced)
-        runTraced();
+    if (obs)
+        runTraced(obs);
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

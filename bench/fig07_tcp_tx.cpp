@@ -39,6 +39,7 @@ Fig07(benchmark::State& state)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fig07");
     for (auto mode : {ServerMode::Local, ServerMode::Remote,
                       ServerMode::Ioctopus}) {
         for (std::size_t i = 0; i < std::size(kSizes); ++i) {
@@ -68,6 +69,16 @@ main(int argc, char** argv)
                     static_cast<unsigned long long>(msg), l.gbps, r.gbps,
                     o.gbps, r.gbps / l.gbps, r.membwGbps / r.gbps);
     }
+    if (obs) {
+        // Observability pass: the three presets at 64 KiB, short
+        // window, full pipeline (spans + counter tracks + report).
+        for (auto mode : {ServerMode::Local, ServerMode::Remote,
+                          ServerMode::Ioctopus}) {
+            runTcpStream(mode, 65536, workloads::StreamDir::ServerTx,
+                         sim::fromMs(2), sim::fromMs(3), &obs);
+        }
+    }
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

@@ -28,22 +28,29 @@ struct PktgenResult
 };
 
 PktgenResult
-runPktgen(ServerMode mode, std::uint32_t size)
+runPktgen(ServerMode mode, std::uint32_t size,
+          ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = mode;
+    obsBegin(obs, cfg, core::modeName(mode));
     Testbed tb(cfg);
     auto t = tb.serverThread(tb.workNode(), 0);
     workloads::Pktgen gen(tb, t, size);
     gen.start();
+    if (obs != nullptr)
+        obs->startSampler(tb);
 
     tb.runFor(kWarmup);
     Probe probe(tb, {&t.core()}, gen.bytesSent());
     const std::uint64_t p0 = gen.packetsSent();
     tb.runFor(kWindow);
     const double secs = sim::toSec(probe.elapsed());
-    return PktgenResult{(gen.packetsSent() - p0) / secs / 1e6,
-                        probe.gbps(gen.bytesSent()), probe.membwGbps()};
+    PktgenResult res{(gen.packetsSent() - p0) / secs / 1e6,
+                     probe.gbps(gen.bytesSent()), probe.membwGbps()};
+    if (obs != nullptr)
+        obs->endRun();
+    return res;
 }
 
 void
@@ -65,6 +72,7 @@ Fig08(benchmark::State& state)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fig08");
     for (auto mode : {ServerMode::Local, ServerMode::Remote,
                       ServerMode::Ioctopus}) {
         for (std::size_t i = 0; i < std::size(kSizes); ++i) {
@@ -91,6 +99,13 @@ main(int argc, char** argv)
                     size, l.mpps, l.gbps, r.mpps, r.gbps,
                     o.gbps / r.gbps, r.membwGbps);
     }
+    if (obs) {
+        // Observability pass: the three presets at 64 B line rate.
+        for (auto mode : {ServerMode::Local, ServerMode::Remote,
+                          ServerMode::Ioctopus})
+            runPktgen(mode, 64, &obs);
+    }
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

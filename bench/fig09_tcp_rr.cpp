@@ -52,7 +52,7 @@ struct RrResult
 };
 
 RrResult
-runRr(RrConfig rc, std::uint64_t msg)
+runRr(RrConfig rc, std::uint64_t msg, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode =
@@ -62,16 +62,22 @@ runRr(RrConfig rc, std::uint64_t msg)
         cfg.serverDdio = false;
         cfg.clientDdio = false;
     }
+    obsBegin(obs, cfg, rrName(rc));
     Testbed tb(cfg);
     auto server_t = tb.serverThread(tb.workNode(), 0);
     // "rr" places the client thread remote from the client NIC as well.
     auto client_t = tb.clientThread(0, rc == RrConfig::Rr ? 1 : 0);
     workloads::RrWorkload rr(tb, server_t, client_t, msg);
     rr.start();
+    if (obs != nullptr)
+        obs->startSampler(tb);
     tb.runFor(sim::fromMs(2)); // warmup
     rr.resetStats();
     tb.runFor(sim::fromMs(30));
-    return RrResult{rr.latencyUs().mean(), rr.latencyUs().percentile(99)};
+    RrResult res{rr.latencyUs().mean(), rr.latencyUs().percentile(99)};
+    if (obs != nullptr)
+        obs->endRun();
+    return res;
 }
 
 void
@@ -92,6 +98,7 @@ Fig09(benchmark::State& state)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fig09");
     for (auto rc : {RrConfig::Ll, RrConfig::Rr, RrConfig::Llnd}) {
         for (std::size_t i = 0; i < std::size(kSizes); ++i) {
             const std::string name = std::string("fig09/rr/") +
@@ -119,6 +126,13 @@ main(int argc, char** argv)
                     rrv.meanUs, llnd.meanUs, rrv.meanUs / ll.meanUs,
                     llnd.meanUs / ll.meanUs, rrv.p99Us / ll.p99Us);
     }
+    if (obs) {
+        // Observability pass: the three configs at 4 KiB, with the e2e
+        // latency spans on the critical request/response path.
+        for (auto rc : {RrConfig::Ll, RrConfig::Rr, RrConfig::Llnd})
+            runRr(rc, 4096, &obs);
+    }
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

@@ -28,16 +28,21 @@ struct KvResult
 };
 
 KvResult
-runKv(ServerMode mode, int set_pct)
+runKv(ServerMode mode, int set_pct, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = mode;
+    obsBegin(obs, cfg,
+             std::string(core::modeName(mode)) + "/set" +
+                 std::to_string(set_pct));
     Testbed tb(cfg);
 
     workloads::KvConfig kv;
     kv.setRatio = set_pct / 100.0;
     workloads::KvWorkload wl(tb, tb.workNode(), kv);
     wl.start();
+    if (obs != nullptr)
+        obs->startSampler(tb);
 
     tb.runFor(sim::fromMs(10));
     const std::uint64_t t0 = wl.transactions();
@@ -45,9 +50,12 @@ runKv(ServerMode mode, int set_pct)
     const sim::Tick window = sim::fromMs(40);
     tb.runFor(window);
     const double secs = sim::toSec(window);
-    return KvResult{(wl.transactions() - t0) / secs / 1e3,
-                    sim::toGBps(tb.server().dramBytesTotal() - d0,
-                                window)};
+    KvResult res{(wl.transactions() - t0) / secs / 1e3,
+                 sim::toGBps(tb.server().dramBytesTotal() - d0,
+                             window)};
+    if (obs != nullptr)
+        obs->endRun();
+    return res;
 }
 
 void
@@ -68,6 +76,7 @@ Fig10(benchmark::State& state)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fig10");
     for (auto mode : {ServerMode::Ioctopus, ServerMode::Remote}) {
         for (int pct : {0, 50, 100}) {
             const std::string name = std::string("fig10/memcached/") +
@@ -91,6 +100,12 @@ main(int argc, char** argv)
                     o.ktps, r.ktps, o.ktps / r.ktps, o.membwGBps,
                     r.membwGBps);
     }
+    if (obs) {
+        // Observability pass: the 50% SET mix, both presets.
+        for (auto mode : {ServerMode::Ioctopus, ServerMode::Remote})
+            runKv(mode, 50, &obs);
+    }
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

@@ -27,10 +27,13 @@ struct ColocResult
 };
 
 ColocResult
-runColoc(ServerMode mode, int stream_pairs)
+runColoc(ServerMode mode, int stream_pairs, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = mode;
+    obsBegin(obs, cfg,
+             std::string(core::modeName(mode)) + "/" +
+                 std::to_string(stream_pairs) + "pairs");
     Testbed tb(cfg);
     auto server_t = tb.serverThread(tb.workNode(), 0);
     auto client_t = tb.clientThread(0);
@@ -55,11 +58,16 @@ runColoc(ServerMode mode, int stream_pairs)
         }
     }
 
+    if (obs != nullptr)
+        obs->startSampler(tb);
     tb.runFor(kWarmup);
     Probe probe(tb, {&server_t.core()}, stream.bytesDelivered());
     tb.runFor(kWindow);
-    return ColocResult{probe.gbps(stream.bytesDelivered()),
-                       probe.membwGbps()};
+    ColocResult res{probe.gbps(stream.bytesDelivered()),
+                    probe.membwGbps()};
+    if (obs != nullptr)
+        obs->endRun();
+    return res;
 }
 
 void
@@ -80,6 +88,7 @@ Fig11(benchmark::State& state)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fig11");
     for (auto mode : {ServerMode::Ioctopus, ServerMode::Remote}) {
         for (int pairs : {1, 3, 6}) {
             const std::string name = std::string("fig11/qpi/") +
@@ -102,6 +111,13 @@ main(int argc, char** argv)
         std::printf("%-6d %10.2f %13.2f %12.2f\n", pairs, o.gbps,
                     r.gbps, o.gbps / r.gbps);
     }
+    if (obs) {
+        // Observability pass: heaviest congestion point, both presets —
+        // the qpi_gbps counter track shows the antagonist load directly.
+        for (auto mode : {ServerMode::Ioctopus, ServerMode::Remote})
+            runColoc(mode, 6, &obs);
+    }
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

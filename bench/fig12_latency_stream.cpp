@@ -20,11 +20,14 @@ using namespace octo::bench;
 namespace {
 
 double
-runLatency(ServerMode mode, int stream_pairs)
+runLatency(ServerMode mode, int stream_pairs, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = mode;
     cfg.rxCoalesce = 0;
+    obsBegin(obs, cfg,
+             std::string(core::modeName(mode)) + "/" +
+                 std::to_string(stream_pairs) + "pairs");
     Testbed tb(cfg);
     auto server_t = tb.serverThread(tb.workNode(), 0);
     auto client_t = tb.clientThread(0);
@@ -47,10 +50,15 @@ runLatency(ServerMode mode, int stream_pairs)
         }
     }
 
+    if (obs != nullptr)
+        obs->startSampler(tb);
     tb.runFor(sim::fromMs(2));
     rr.resetStats();
     tb.runFor(sim::fromMs(30));
-    return rr.latencyUs().mean();
+    const double mean = rr.latencyUs().mean();
+    if (obs != nullptr)
+        obs->endRun();
+    return mean;
 }
 
 void
@@ -70,6 +78,7 @@ Fig12(benchmark::State& state)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fig12");
     for (auto mode : {ServerMode::Ioctopus, ServerMode::Remote}) {
         for (int pairs : {1, 3, 6}) {
             const std::string name = std::string("fig12/latency/") +
@@ -91,6 +100,12 @@ main(int argc, char** argv)
         const double r = runLatency(ServerMode::Remote, pairs);
         std::printf("%-6d %9.2f %10.2f %12.2f\n", pairs, o, r, o / r);
     }
+    if (obs) {
+        // Observability pass: heaviest congestion point, both presets.
+        for (auto mode : {ServerMode::Ioctopus, ServerMode::Remote})
+            runLatency(mode, 6, &obs);
+    }
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

@@ -31,10 +31,13 @@ struct ColocResult
 };
 
 ColocResult
-runColoc(ServerMode mode, bool use_memcached)
+runColoc(ServerMode mode, bool use_memcached, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = mode;
+    obsBegin(obs, cfg,
+             std::string(core::modeName(mode)) + "/" +
+                 (use_memcached ? "memcached" : "netperf"));
     Testbed tb(cfg);
 
     // PageRank: 8 threads per socket on the high-numbered cores.
@@ -68,6 +71,8 @@ runColoc(ServerMode mode, bool use_memcached)
         }
     }
 
+    if (obs != nullptr)
+        obs->startSampler(tb);
     tb.runFor(sim::fromMs(5));
     const std::uint64_t io_b0 = [&] {
         std::uint64_t b = 0;
@@ -92,6 +97,8 @@ runColoc(ServerMode mode, bool use_memcached)
     r.ioGbps = sim::toGbps(io_b1 - io_b0, window);
     r.ioKtps =
         kv ? (kv->transactions() - kv_t0) / sim::toSec(window) / 1e3 : 0;
+    if (obs != nullptr)
+        obs->endRun();
     return r;
 }
 
@@ -100,6 +107,7 @@ runColoc(ServerMode mode, bool use_memcached)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fig13");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -116,6 +124,13 @@ main(int argc, char** argv)
                         r.ioKtps);
         }
     }
+    if (obs) {
+        // Observability pass: the netperf co-location, both presets —
+        // membw_gbps and qpi_gbps tracks show PageRank vs DMA traffic.
+        for (auto mode : {ServerMode::Ioctopus, ServerMode::Remote})
+            runColoc(mode, false, &obs);
+    }
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

@@ -25,10 +25,11 @@ using namespace octo::bench;
 namespace {
 
 void
-runMigration(ServerMode mode)
+runMigration(ServerMode mode, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = mode;
+    obsBegin(obs, cfg, core::modeName(mode));
     Testbed tb(cfg);
     // Start on the NIC-local socket; migrate to the other one.
     auto server_t = tb.serverThread(0, 0);
@@ -36,6 +37,9 @@ runMigration(ServerMode mode)
     workloads::NetperfStream stream(tb, server_t, client_t, 64u << 10,
                                     workloads::StreamDir::ServerRx);
     stream.start();
+    // The per-PF rx counter tracks show the steering switch directly.
+    if (obs != nullptr)
+        obs->startSampler(tb);
 
     const sim::Tick sample = sim::fromMs(10);
     const int total_samples = 100;
@@ -73,6 +77,8 @@ runMigration(ServerMode mode)
                 "steering transition included)\n",
                 static_cast<unsigned long long>(
                     stream.serverSocket().oooEvents));
+    if (obs != nullptr)
+        obs->endRun();
 }
 
 } // namespace
@@ -80,13 +86,15 @@ runMigration(ServerMode mode)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fig14");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
     printHeader("Fig. 14 — thread migration and the steering switch",
                 "(time series below)");
-    runMigration(ServerMode::Ioctopus);
-    runMigration(ServerMode::Local); // standard firmware, starts local
+    runMigration(ServerMode::Ioctopus, &obs);
+    runMigration(ServerMode::Local, &obs); // standard fw, starts local
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

@@ -32,11 +32,17 @@ struct NvmeResult
 };
 
 NvmeResult
-runNvme(int n_streams, bool octo_ssd)
+runNvme(int n_streams, bool octo_ssd, ObsSession* obs = nullptr)
 {
-    // Standalone single-host experiment: no NIC involved.
+    // Standalone single-host experiment: no NIC involved, so the hub
+    // attaches to the raw simulator and the watches are hand-rolled.
     topo::Calibration cal;
     sim::Simulator sim;
+    if (obs != nullptr && obs->active()) {
+        obs->beginRun(std::string(octo_ssd ? "octossd" : "ssd") + "/" +
+                      std::to_string(n_streams) + "streams");
+        sim.setHub(obs->hub());
+    }
     topo::Machine m(sim, cal, "server");
 
     // Four SSDs on socket 1; fio threads and their buffers on socket 0.
@@ -71,6 +77,27 @@ runNvme(int n_streams, bool octo_ssd)
         ants.back()->start();
     }
 
+    if (obs != nullptr) {
+        if (obs::Sampler* s = obs->makeSampler(sim)) {
+            s->watchRate("fio_read_gbps", [&fio] {
+                std::uint64_t b = 0;
+                for (auto& f : fio)
+                    b += f->bytesRead();
+                return b;
+            });
+            s->watchRate("stream_gbps", [&ants] {
+                std::uint64_t b = 0;
+                for (auto& a : ants)
+                    b += a->bytesMoved();
+                return b;
+            });
+            s->watchRate("qpi_gbps",
+                         [&m] { return m.qpiBytesTotal(); });
+            s->watchRate("membw_gbps",
+                         [&m] { return m.dramBytesTotal(); });
+            s->start();
+        }
+    }
     sim.runUntil(sim::fromMs(5));
     std::uint64_t f0 = 0;
     for (auto& f : fio)
@@ -87,8 +114,11 @@ runNvme(int n_streams, bool octo_ssd)
     std::uint64_t s1 = 0;
     for (auto& a : ants)
         s1 += a->bytesMoved();
-    return NvmeResult{sim::toGBps(f1 - f0, window),
-                      sim::toGBps(s1 - s0, window)};
+    NvmeResult res{sim::toGBps(f1 - f0, window),
+                   sim::toGBps(s1 - s0, window)};
+    if (obs != nullptr)
+        obs->endRun();
+    return res;
 }
 
 void
@@ -107,6 +137,7 @@ Fig15(benchmark::State& state)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "fig15");
     for (int n : {0, 5, 10}) {
         const std::string name =
             "fig15/nvme/" + std::to_string(n) + "streams";
@@ -134,6 +165,13 @@ main(int argc, char** argv)
                                                         : 1),
                     o.fioGBps / fio_base_octo);
     }
+    if (obs) {
+        // Observability pass: saturated interconnect, plain vs octo SSD
+        // — the latency_e2e_ns histograms carry the per-dev I/O times.
+        runNvme(6, false, &obs);
+        runNvme(6, true, &obs);
+    }
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

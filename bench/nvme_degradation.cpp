@@ -23,6 +23,7 @@
 #include <memory>
 #include <vector>
 
+#include "common.hpp"
 #include "health/monitor.hpp"
 #include "nvme/driver.hpp"
 #include "nvme/nvme.hpp"
@@ -60,10 +61,16 @@ struct NvmeRun
 };
 
 NvmeRun
-runTimeline(bool monitored)
+runTimeline(bool monitored, bench::ObsSession* obs = nullptr)
 {
     topo::Calibration cal;
     sim::Simulator sim;
+    // Standalone single-host experiment: the hub attaches to the raw
+    // simulator and the watches are hand-rolled.
+    if (obs != nullptr && obs->active()) {
+        obs->beginRun(monitored ? "monitored" : "unmonitored");
+        sim.setHub(obs->hub());
+    }
     topo::Machine m(sim, cal, "server");
 
     // Dual-port drive: x8 on the readers' socket, x8 on the other one.
@@ -97,6 +104,29 @@ runTimeline(bool monitored)
     sim.schedule(kDegradeAt, [&] { ssd.port(0).degradeWidth(2); });
     sim.schedule(kRestoreAt, [&] { ssd.port(0).restoreLink(); });
 
+    if (obs != nullptr) {
+        if (obs::Sampler* s = obs->makeSampler(sim)) {
+            s->watchRate("fio_read_gbps",
+                         [&fio_bytes] { return fio_bytes(); });
+            s->watchRate("qpi_gbps", [&m] { return m.qpiBytesTotal(); });
+            s->watchGauge("sq0_pf", [&drv] {
+                return static_cast<double>(drv.sq(0).pf);
+            });
+            s->watchGauge("sq1_pf", [&drv] {
+                return static_cast<double>(drv.sq(1).pf);
+            });
+            if (mon != nullptr) {
+                for (int p = 0; p < 2; ++p) {
+                    health::HealthMonitor* mp = mon.get();
+                    s->watchGauge(
+                        "port" + std::to_string(p) + "_health_weight",
+                        [mp, p] { return mp->weight(p); });
+                }
+            }
+            s->start();
+        }
+    }
+
     NvmeRun run;
     std::uint64_t healthy_mark = 0;
     std::uint64_t degraded_mark = 0;
@@ -124,6 +154,8 @@ runTimeline(bool monitored)
     }
     run.allHome = drv.sq(0).pf == drv.sq(0).homePf &&
                   drv.sq(1).pf == drv.sq(1).homePf;
+    if (obs != nullptr)
+        obs->endRun();
     return run;
 }
 
@@ -169,13 +201,15 @@ writeCsv(const NvmeRun& run)
 int
 main(int argc, char** argv)
 {
+    bench::ObsSession obs(bench::consumeObsFlags(argc, argv),
+                          "nvme_degradation");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
     std::printf("\n### OctoSSD degradation — per-queue steering on the "
                 "NVMe plane\n(time series below)\n");
-    const NvmeRun with = runTimeline(true);
-    const NvmeRun without = runTimeline(false);
+    const NvmeRun with = runTimeline(true, &obs);
+    const NvmeRun without = runTimeline(false, &obs);
     printRun(with, true);
     printRun(without, false);
     writeCsv(with);
@@ -197,6 +231,7 @@ main(int argc, char** argv)
     if (keep_with < 0.75)
         std::printf("# WARNING: monitored retention below the 75%% "
                     "acceptance bar\n");
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

@@ -20,10 +20,12 @@ using namespace octo::bench;
 namespace {
 
 double
-runPktgenRing(bool ring_on_nic_node)
+runPktgenRing(bool ring_on_nic_node, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = ServerMode::Remote;
+    obsBegin(obs, cfg,
+             ring_on_nic_node ? "ring-nic-node" : "ring-app-node");
     Testbed tb(cfg);
     auto t = tb.serverThread(tb.workNode(), 0);
 
@@ -39,10 +41,16 @@ runPktgenRing(bool ring_on_nic_node)
 
     workloads::Pktgen gen(tb, t, 64);
     gen.start();
+    if (obs != nullptr)
+        obs->startSampler(tb);
     tb.runFor(kWarmup);
     const std::uint64_t p0 = gen.packetsSent();
     tb.runFor(kWindow);
-    return (gen.packetsSent() - p0) / sim::toSec(kWindow) / 1e6;
+    const double mpps =
+        (gen.packetsSent() - p0) / sim::toSec(kWindow) / 1e6;
+    if (obs != nullptr)
+        obs->endRun();
+    return mpps;
 }
 
 } // namespace
@@ -50,18 +58,20 @@ runPktgenRing(bool ring_on_nic_node)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "s24");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
     printHeader("§2.4 ablation — response-ring placement for remote "
                 "pktgen",
                 "ring placement        MPPS");
-    const double app_local = runPktgenRing(false);
-    const double nic_local = runPktgenRing(true);
+    const double app_local = runPktgenRing(false, &obs);
+    const double nic_local = runPktgenRing(true, &obs);
     std::printf("%-20s %7.2f\n", "app node (default)", app_local);
     std::printf("%-20s %7.2f\n", "NIC node (remote-DDIO)", nic_local);
     std::printf("improvement: %.1f%% (paper: <= ~2%%)\n",
                 (nic_local / app_local - 1.0) * 100.0);
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

@@ -34,10 +34,11 @@ struct BaselineResult
 };
 
 BaselineResult
-runDynamic(ServerMode mode)
+runDynamic(ServerMode mode, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = mode;
+    obsBegin(obs, cfg, core::modeName(mode));
     Testbed tb(cfg);
 
     // Eight Rx flows; each consumer thread re-pins to a random core
@@ -67,6 +68,8 @@ runDynamic(ServerMode mode)
         }
     };
     auto churn = sim::spawn(churner);
+    if (obs != nullptr)
+        obs->startSampler(tb);
 
     tb.runFor(kWarmup);
     std::uint64_t b0 = 0;
@@ -90,10 +93,13 @@ runDynamic(ServerMode mode)
             ++remote_flows;
     }
 
-    return BaselineResult{
+    BaselineResult res{
         sim::toGbps(b1 - b0, sim::fromMs(60)),
         sim::toGbps(tb.server().qpiBytesTotal() - q0, sim::fromMs(60)),
         static_cast<double>(remote_flows) / kFlows};
+    if (obs != nullptr)
+        obs->endRun();
+    return res;
 }
 
 } // namespace
@@ -101,6 +107,7 @@ runDynamic(ServerMode mode)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "s25");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
@@ -109,7 +116,7 @@ main(int argc, char** argv)
     for (auto mode :
          {ServerMode::Ioctopus, ServerMode::Bonded, ServerMode::TwoNics,
           ServerMode::Remote}) {
-        const auto r = runDynamic(mode);
+        const auto r = runDynamic(mode, &obs);
         std::printf("%-9s %10.2f %10.2f %14.0f%%\n", core::modeName(mode),
                     r.gbps, r.qpiGbps, 100.0 * r.remotePfShare);
     }
@@ -118,5 +125,6 @@ main(int argc, char** argv)
                 "(remote-PF flows -> 0%%, qpi -> ~0); bonding and "
                 "two-NICs strand\nroughly half the flows remotely, as "
                 "§2.5 argues.\n");
+    obs.finish();
     return 0;
 }

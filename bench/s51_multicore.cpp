@@ -55,11 +55,12 @@ struct MulticoreResult
 };
 
 MulticoreResult
-runMulticore(Placement placement)
+runMulticore(Placement placement, ObsSession* obs = nullptr)
 {
     TestbedConfig cfg;
     cfg.mode = placement == Placement::Octo ? ServerMode::Ioctopus
                                             : ServerMode::TwoNics;
+    obsBegin(obs, cfg, placementName(placement));
     Testbed tb(cfg);
 
     std::vector<std::unique_ptr<workloads::NetperfStream>> streams;
@@ -86,6 +87,8 @@ runMulticore(Placement placement)
         }
     }
 
+    if (obs != nullptr)
+        obs->startSampler(tb);
     tb.runFor(kWarmup);
     std::uint64_t b0 = 0;
     for (auto& s : streams)
@@ -95,8 +98,11 @@ runMulticore(Placement placement)
     std::uint64_t b1 = 0;
     for (auto& s : streams)
         b1 += s->bytesDelivered();
-    return MulticoreResult{probe.gbps(b1), probe.membwGbps(),
-                           probe.qpiGbps(), probe.cpuCores()};
+    MulticoreResult res{probe.gbps(b1), probe.membwGbps(),
+                        probe.qpiGbps(), probe.cpuCores()};
+    if (obs != nullptr)
+        obs->endRun();
+    return res;
 }
 
 void
@@ -117,6 +123,7 @@ S51(benchmark::State& state)
 int
 main(int argc, char** argv)
 {
+    ObsSession obs(consumeObsFlags(argc, argv), "s51");
     for (auto p :
          {Placement::Straight, Placement::Crossed, Placement::Octo}) {
         const std::string name =
@@ -134,11 +141,12 @@ main(int argc, char** argv)
                 "cpu[cores]");
     for (auto p :
          {Placement::Straight, Placement::Crossed, Placement::Octo}) {
-        const auto r = runMulticore(p);
+        const auto r = runMulticore(p, &obs);
         std::printf("%-9s %10.2f %12.2f %10.2f %11.2f\n",
                     placementName(p), r.gbps, r.membwGbps, r.qpiGbps,
                     r.cpuCores);
     }
+    obs.finish();
     benchmark::Shutdown();
     return 0;
 }

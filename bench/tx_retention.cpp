@@ -7,7 +7,11 @@
  * the healthy remote PF, the XPS pick hands every send a ring whose
  * DMA reads bypass the x2 link. The override column counts the direct
  * per-post XPS redirects — zero here, because with one ring per core
- * the rebind covers the whole job before any post needs overriding.
+ * the rebind covers the whole job before any post needs overriding. A
+ * final variant gives every core spare Tx-only rings (7 rings/core,
+ * 8 senders), which de-aligns the monitor's per-group keepSlot verdict
+ * from queueForCore's whole-device one and forces the per-post
+ * override path to fire (asserted nonzero).
  *
  * The run repeats without the monitor — the plain driver keeps posting
  * on the core's home ring, so the degraded window throttles to the x2
@@ -39,17 +43,32 @@ constexpr sim::Tick kRestoreAt = sim::fromMs(600);
 constexpr sim::Tick kRunFor = sim::fromMs(1000);
 constexpr sim::Tick kSample = sim::fromMs(10);
 
-/** One timeline run; returns application bytes delivered inside the
- *  degraded window [degrade+10ms, restore). */
-std::uint64_t
-runTimeline(bool monitored, bool print, obs::Hub* hub)
+struct TxRunResult
+{
+    /** Application bytes delivered inside the degraded window
+     *  [degrade+10ms, restore). */
+    std::uint64_t degradedBytes = 0;
+    /** Per-post XPS redirects (queueForCore disagreeing with the
+     *  core's home ring). */
+    std::uint64_t overrides = 0;
+};
+
+/** One timeline run. @p tx_rings > 1 gives every core spare Tx-only
+ *  rings, making the per-core ring numbering diverge from the
+ *  monitor's group slots — the per-post override path fires. */
+TxRunResult
+runTimeline(bool monitored, bool print, ObsSession* obs,
+            const char* label, int tx_rings = 1, int streams = kStreams)
 {
     TestbedConfig cfg;
     cfg.mode = ServerMode::Ioctopus;
-    cfg.healthMonitor = monitored;
-    cfg.hub = hub;
+    cfg.txRingsPerCore = tx_rings;
     cfg.faults.pcieWidthDegrade(kDegradeAt, 0, 2)
         .pcieRestore(kRestoreAt, 0);
+    obsBegin(obs, cfg, label);
+    // After obsBegin: the monitor is this run's comparison knob, not an
+    // observability convenience, so the explicit setting must win.
+    cfg.healthMonitor = monitored;
     Testbed tb(cfg);
 
     // The senders run on node 0, so XPS posts through PF0 — the
@@ -57,20 +76,20 @@ runTimeline(bool monitored, bool print, obs::Hub* hub)
     // weights make queueForCore pick a PF1 ring instead.
     std::vector<os::ThreadCtx> sctx;
     std::vector<os::ThreadCtx> cctx;
-    for (int i = 0; i < kStreams; ++i) {
+    for (int i = 0; i < streams; ++i) {
         sctx.push_back(tb.serverThread(0, i));
         cctx.push_back(tb.clientThread(i));
     }
-    std::vector<std::unique_ptr<workloads::NetperfStream>> streams;
-    for (int i = 0; i < kStreams; ++i) {
-        streams.push_back(std::make_unique<workloads::NetperfStream>(
+    std::vector<std::unique_ptr<workloads::NetperfStream>> netperf;
+    for (int i = 0; i < streams; ++i) {
+        netperf.push_back(std::make_unique<workloads::NetperfStream>(
             tb, sctx[i], cctx[i], 64u << 10,
             workloads::StreamDir::ServerTx));
-        streams.back()->start();
+        netperf.back()->start();
     }
     auto app_bytes = [&] {
         std::uint64_t total = 0;
-        for (const auto& s : streams)
+        for (const auto& s : netperf)
             total += s->bytesDelivered();
         return total;
     };
@@ -83,6 +102,8 @@ runTimeline(bool monitored, bool print, obs::Hub* hub)
                     [&] { return tb.serverStack().txQueueOverrides(); },
                     sim::ProbeUnit::Events);
     series.start();
+    if (obs != nullptr)
+        obs->startSampler(tb);
 
     std::uint64_t degraded_bytes = 0;
     std::uint64_t mark = 0;
@@ -99,7 +120,7 @@ runTimeline(bool monitored, bool print, obs::Hub* hub)
         std::printf("\n# octoNIC: PF0 retrained x8->x2 at 0.30 s, "
                     "restored at 0.60 s; %d Tx streams from node 0; "
                     "monitor %s; 10 ms samples\n",
-                    kStreams, monitored ? "ON" : "OFF");
+                    streams, monitored ? "ON" : "OFF");
         std::printf("%-8s %10s %10s %10s %14s\n", "t[s]", "pf0-tx",
                     "pf1-tx", "app", "override/s");
         for (std::size_t i = 0; i < series.sampleCount(); ++i) {
@@ -128,9 +149,10 @@ runTimeline(bool monitored, bool print, obs::Hub* hub)
         }
     }
 
-    if (hub != nullptr)
-        hub->metrics().freeze();
-    return degraded_bytes;
+    if (obs != nullptr)
+        obs->endRun();
+    return TxRunResult{degraded_bytes,
+                       tb.serverStack().txQueueOverrides()};
 }
 
 } // namespace
@@ -138,42 +160,47 @@ runTimeline(bool monitored, bool print, obs::Hub* hub)
 int
 main(int argc, char** argv)
 {
-    const bool traced = consumeTraceFlag(argc, argv);
+    ObsSession obs(consumeObsFlags(argc, argv), "tx_retention");
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
 
-    obs::Hub hub;
-    if (traced)
-        hub.tracer().enable(obs::kCatSteer | obs::kCatHealth |
-                            obs::kCatQueue);
-
     printHeader("Tx retention — health-aware XPS under a degraded PF",
                 "(time series below)");
-    hub.setRun("monitored");
-    const std::uint64_t with =
-        runTimeline(true, true, traced ? &hub : nullptr);
-    hub.setRun("plain");
-    const std::uint64_t without =
-        runTimeline(false, true, traced ? &hub : nullptr);
+    const TxRunResult with =
+        runTimeline(true, true, &obs, "monitored");
+    const TxRunResult without =
+        runTimeline(false, true, &obs, "plain");
 
     const double window_s =
         sim::toMs(kRestoreAt - kDegradeAt - kSample) / 1000.0;
     std::printf("\n# degraded-window app throughput: monitored %.2f Gb/s "
                 "vs unmonitored %.2f Gb/s (%.2fx)\n",
-                static_cast<double>(with) * 8 / 1e9 / window_s,
-                static_cast<double>(without) * 8 / 1e9 / window_s,
-                without > 0 ? static_cast<double>(with) / without : 0.0);
-    if (traced) {
-        hub.tracer().writeFile("tx_retention_trace.json");
-        if (std::FILE* prom = std::fopen("tx_retention_metrics.prom",
-                                         "w")) {
-            hub.metrics().writePrometheus(prom);
-            std::fclose(prom);
-        }
-        std::printf("# wrote tx_retention_trace.json (%zu events) and "
-                    "tx_retention_metrics.prom\n",
-                    hub.tracer().eventCount());
-    }
+                static_cast<double>(with.degradedBytes) * 8 / 1e9 /
+                    window_s,
+                static_cast<double>(without.degradedBytes) * 8 / 1e9 /
+                    window_s,
+                without.degradedBytes > 0
+                    ? static_cast<double>(with.degradedBytes) /
+                          without.degradedBytes
+                    : 0.0);
+
+    // Multi-ring variant: spare Tx-only rings de-align the monitor's
+    // per-PF-group keepSlot verdict from queueForCore's whole-device
+    // one, so some rings the monitor keeps home fail the per-post
+    // check and individual sends get redirected — the counter the
+    // single-ring runs leave at 0.
+    const TxRunResult multi =
+        runTimeline(true, false, &obs, "monitored-7rings", 7, 8);
+    std::printf("# tx-overrides: 1 ring/core=%llu, 7 rings/core=%llu\n",
+                static_cast<unsigned long long>(with.overrides),
+                static_cast<unsigned long long>(multi.overrides));
+    obs.finish();
     benchmark::Shutdown();
+    if (multi.overrides == 0) {
+        std::fprintf(stderr,
+                     "FAIL: expected nonzero per-post XPS overrides "
+                     "with 7 Tx rings per core\n");
+        return 1;
+    }
     return 0;
 }

@@ -127,6 +127,11 @@ Testbed::buildServerSide()
                                                  cfg_.rxRingEntries);
             stack->mapCoreToQueue(c, qid);
             qids.push_back(qid);
+            // Extra Tx-only rings: same core and PF, not part of the
+            // netdev's Rx set, so the receive path is untouched while
+            // health-aware XPS gets per-core alternatives to pick from.
+            for (int r = 1; r < cfg_.txRingsPerCore; ++r)
+                serverNic_->addQueue(core, pf, cfg_.rxRingEntries);
         }
         serverNic_->addNetdev(kServerIp, qids);
         serverStacks_.push_back(std::move(stack));

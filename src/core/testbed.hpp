@@ -74,6 +74,16 @@ struct TestbedConfig
      *  flow-control windows of the connections sharing a queue fit
      *  without loss (the back-to-back testbed never drops). */
     int rxRingEntries = 4096;
+
+    /** Tx rings per core (Ioctopus mode). The first ring per core is
+     *  the XPS target and the only Rx/ARFS-visible one; extra rings
+     *  are Tx-only spares on the same PF. With >1 the per-core ring
+     *  numbering diverges from the monitor's group-slot numbering, so
+     *  health-aware queueForCore() overrides individual posts instead
+     *  of riding the group rebind (the `net_tx_queue_overrides`
+     *  counter becomes nonzero under degradation). */
+    int txRingsPerCore = 1;
+
     os::StackConfig stack;
 
     /** Fault schedule replayed against the *server* side (NIC, stack 0,

@@ -135,6 +135,7 @@ NicDevice::acceptFrame(const Frame& f)
 Task<>
 NicDevice::rxPath(Frame f)
 {
+    f.arrivedAt = sim_.now(); // Opens the e2e latency span.
     const int qid = classify(f.flow);
     NicQueue& q = *queues_.at(qid);
     if (!q.pf->linkUp()) {

@@ -21,6 +21,8 @@ struct Frame
     std::uint32_t payloadBytes = 0;
     std::uint64_t seq = 0;       ///< Per-flow sequence for OOO detection.
     sim::Tick sentAt = 0;        ///< Application send timestamp.
+    sim::Tick arrivedAt = 0;     ///< Wire arrival at the receiving NIC
+                                 ///< (opens the e2e latency span).
     bool lastOfMessage = false;  ///< Marks a message boundary (RR-style).
 };
 

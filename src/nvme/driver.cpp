@@ -13,8 +13,11 @@ NvmeDriver::NvmeDriver(NvmeDevice& dev, NvmeDriverConfig cfg)
     : dev_(dev), cfg_(cfg),
       flows_(obs::hub(dev.host().sim()), dev.name())
 {
-    if (obs::Hub* h = obs::hub(dev_.host().sim()))
+    if (obs::Hub* h = obs::hub(dev_.host().sim())) {
         tracePid_ = h->pidFor(dev_.name());
+        obE2e_ = &h->metrics().histogram("latency_e2e_ns",
+                                         {{"dev", dev_.name()}});
+    }
 }
 
 int
@@ -66,6 +69,8 @@ NvmeDriver::read(std::uint64_t bytes, int buf_node, int submit_node)
     const Tick lat = co_await dev_.readVia(pf, bytes, buf_node, sq.node);
     sq.bytes += bytes;
     --sq.inflight;
+    if (obE2e_ != nullptr)
+        obE2e_->record(sim::toNs(dev_.host().sim().now() - start));
     if (flows_.active()) {
         // Payload lands on the buffer's node, the 64B completion entry
         // on the submitter's; attribute both to the SQ's row. DDIO

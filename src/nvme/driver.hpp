@@ -135,6 +135,7 @@ class NvmeDriver : public steer::SteerablePlane
     std::uint64_t watchdogFires_ = 0;
 
     obs::DmaAccountant flows_; ///< Per-SQ DMA attribution.
+    obs::Histogram* obE2e_ = nullptr; ///< Submit -> completion, ns.
     int tracePid_ = 0;
 };
 

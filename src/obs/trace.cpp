@@ -85,6 +85,17 @@ Tracer::admit()
     return true;
 }
 
+bool
+Tracer::admitCounter()
+{
+    if (events_.size() >= counterLimit()) {
+        ++dropped_;
+        ++droppedCounters_;
+        return false;
+    }
+    return true;
+}
+
 void
 Tracer::processName(int pid, const std::string& name)
 {
@@ -159,6 +170,27 @@ Tracer::instant(TraceCat cat, const char* name, int pid, int tid,
     events_.push_back(std::move(ev));
 }
 
+void
+Tracer::counter(TraceCat cat, const char* name, int pid, sim::Tick ts,
+                double value)
+{
+    if (!wants(cat) || !admitCounter())
+        return;
+    std::string ev = "{\"ph\":\"C\",\"name\":\"";
+    appendEscaped(ev, name);
+    ev += "\",\"cat\":\"";
+    ev += std::to_string(cat);
+    ev += "\",";
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "\"pid\":%d,\"tid\":0,", pid);
+    ev += buf;
+    appendTs(ev, "ts", ts);
+    std::snprintf(buf, sizeof buf, ",\"args\":{\"value\":%.9g}", value);
+    ev += buf;
+    ev += '}';
+    events_.push_back(std::move(ev));
+}
+
 std::string
 Tracer::json() const
 {
@@ -178,6 +210,8 @@ Tracer::json() const
     }
     out += "],\"otherData\":{\"droppedEvents\":\"";
     out += std::to_string(dropped_);
+    out += "\",\"droppedCounterEvents\":\"";
+    out += std::to_string(droppedCounters_);
     out += "\"}}";
     return out;
 }

@@ -39,7 +39,8 @@ enum TraceCat : unsigned
     kCatSteer = 1u << 2,  ///< ARFS/XPS steering picks and re-steers.
     kCatHealth = 1u << 3, ///< Monitor verdicts, drains, weight pushes.
     kCatApp = 1u << 4,    ///< Workload-level markers (bench phases).
-    kCatAll = 0x1Fu,
+    kCatCounter = 1u << 5, ///< Sampler counter tracks (Gb/s curves).
+    kCatAll = 0x3Fu,
 };
 
 /** One "args" entry of a trace event. */
@@ -102,6 +103,10 @@ class Tracer
 
     std::size_t eventCount() const { return events_.size(); }
     std::uint64_t droppedEvents() const { return dropped_; }
+    std::uint64_t droppedCounterEvents() const
+    {
+        return droppedCounters_;
+    }
 
     /** Name the timeline row group for @p pid (a host or device). */
     void processName(int pid, const std::string& name);
@@ -117,6 +122,16 @@ class Tracer
     void instant(TraceCat cat, const char* name, int pid, int tid,
                  sim::Tick ts, TraceArgs args = {});
 
+    /** Counter-track sample: one "C" event on track (@p pid, @p name)
+     *  with value @p value at @p ts. Perfetto renders each distinct
+     *  (pid, name) pair as its own scrubbing curve. Counter events
+     *  yield to spans near the cap: they stop being admitted once the
+     *  buffer enters the reserve (the last quarter of maxEvents()),
+     *  so a busy trace degrades by losing curve resolution first and
+     *  never truncates span/instant history before counters. */
+    void counter(TraceCat cat, const char* name, int pid, sim::Tick ts,
+                 double value);
+
     /** The full trace as a JSON document ({"traceEvents": [...]}). */
     std::string json() const;
 
@@ -125,13 +140,22 @@ class Tracer
 
   private:
     bool admit();
+    bool admitCounter();
     static void appendArgs(std::string& ev, TraceArgs args);
     static void appendTs(std::string& ev, const char* field,
                          sim::Tick t);
 
+    /** Counters are refused once the buffer enters this reserve, so
+     *  the last quarter of the cap is span/instant-only. */
+    std::size_t counterLimit() const
+    {
+        return maxEvents_ - maxEvents_ / 4;
+    }
+
     unsigned mask_ = 0;
     std::size_t maxEvents_ = 400000;
     std::uint64_t dropped_ = 0;
+    std::uint64_t droppedCounters_ = 0;
     std::vector<std::string> meta_;   ///< "M" events, never dropped.
     std::vector<std::string> events_; ///< "X"/"i" events, capped.
 };

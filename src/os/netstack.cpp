@@ -16,6 +16,14 @@ using sim::delay;
 using sim::fromNs;
 using sim::fromUs;
 
+namespace {
+
+/** Trace lane carrying the end-to-end latency spans (one lane per
+ *  netdev process keeps them out of the per-queue softirq rows). */
+constexpr int kE2eTid = 999;
+
+} // namespace
+
 NetStack::NetStack(topo::Machine& machine, nic::NicDevice& device,
                    StackConfig cfg)
     : machine_(machine), device_(device), cfg_(cfg), sim_(machine.sim())
@@ -52,7 +60,9 @@ NetStack::NetStack(topo::Machine& machine, nic::NicDevice& device,
         reg.counterFn("net_watchdog_polls", l,
                       [this] { return watchdogPolls_.value(); });
         obRxBatch_ = &reg.histogram("softirq_rx_batch_frames", l);
+        obE2e_ = &reg.histogram("latency_e2e_ns", l);
         tracePid_ = h->pidFor(device_.name());
+        h->tracer().threadName(tracePid_, kE2eTid, "e2e");
     }
 }
 
@@ -277,6 +287,24 @@ NetStack::recv(ThreadCtx& t, Socket& sock, std::uint64_t bytes)
         need -= take;
         sock.rxBytesAvail -= take;
         sock.bytesDelivered += take;
+
+        // End-to-end latency: NIC wire arrival of the segment's first
+        // frame to this copy into user memory. Recorded once per
+        // segment (the stamp is cleared so a partial read of the same
+        // segment does not double-count).
+        if (front.arrivedAt > 0) {
+            const Tick e2e = sim_.now() - front.arrivedAt;
+            if (obE2e_ != nullptr)
+                obE2e_->record(sim::toNs(e2e));
+            if (auto* tr = obs::tracer(sim_, obs::kCatApp)) {
+                tr->complete(obs::kCatApp, "e2e", tracePid_, kE2eTid,
+                             front.arrivedAt, sim_.now(),
+                             {{"bytes", static_cast<std::uint64_t>(
+                                            front.bytes)}});
+            }
+            front.arrivedAt = 0;
+        }
+
         if (take == front.bytes)
             sock.rxq.pop_front();
         else
@@ -736,7 +764,8 @@ NetStack::softirqRx(int qid)
                 ++s->oooEvents;
             s->expectedRxSeq = comp.frame.seq + frames;
             s->rxq.push_back(RxSeg{merged, comp.dataLoc, comp.bufNode,
-                                   comp.frame.sentAt, last_flag});
+                                   comp.frame.sentAt,
+                                   comp.frame.arrivedAt, last_flag});
             s->rxBytesAvail += merged;
             if (last_flag)
                 ++s->rxMsgsAvail;

@@ -352,6 +352,7 @@ class NetStack : public nic::NicSink, public steer::SteerablePlane
 
     // Observability (null / zero without an attached obs::Hub).
     obs::Histogram* obRxBatch_ = nullptr; ///< Frames per softirq drain.
+    obs::Histogram* obE2e_ = nullptr; ///< Wire arrival -> recv(), ns.
     int tracePid_ = 0;
 };
 

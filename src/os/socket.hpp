@@ -23,6 +23,8 @@ struct RxSeg
     mem::DataLoc loc = mem::DataLoc::Dram;
     int node = 0;           ///< Node the packet buffer lives on.
     sim::Tick sentAt = 0;
+    sim::Tick arrivedAt = 0; ///< NIC wire arrival of the segment's
+                             ///< first frame (e2e latency span open).
     bool lastOfMessage = false;
 };
 

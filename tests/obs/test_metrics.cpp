@@ -4,8 +4,12 @@
  * labels), callback instruments and freeze(), histogram percentile
  * bounds, and the exporters.
  */
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -165,6 +169,61 @@ TEST(MetricRegistry, PrometheusExportIsDeterministic)
     EXPECT_LT(text.find("alpha"), text.find("zeta"))
         << "export must sort by identity";
     EXPECT_EQ(text, reg.prometheusText()) << "repeat export identical";
+}
+
+TEST(MetricRegistry, PrometheusHistogramBucketsRoundTrip)
+{
+    MetricRegistry reg;
+    Histogram& h = reg.histogram("lat", {{"dev", "d"}});
+    for (double v : {0.0, 3.0, 8.0, 8.5, 100.0, 5000.0})
+        h.record(v);
+
+    // Parse every lat_bucket{...,le="X"} line back out of the text.
+    std::vector<std::pair<double, std::uint64_t>> buckets;
+    std::istringstream in(reg.prometheusText());
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("lat_bucket", 0) != 0)
+            continue;
+        const auto le_pos = line.find("le=\"");
+        ASSERT_NE(le_pos, std::string::npos) << line;
+        const auto le_end = line.find('"', le_pos + 4);
+        const std::string le =
+            line.substr(le_pos + 4, le_end - le_pos - 4);
+        const double upper =
+            le == "+Inf" ? std::numeric_limits<double>::infinity()
+                         : std::stod(le);
+        const std::uint64_t cum =
+            std::stoull(line.substr(line.rfind(' ') + 1));
+        buckets.push_back({upper, cum});
+    }
+    ASSERT_GE(buckets.size(), 3u);
+
+    // Uppers ascend and cumulative counts are monotone, ending at the
+    // +Inf bucket whose count equals _count.
+    for (std::size_t i = 1; i < buckets.size(); ++i) {
+        EXPECT_GT(buckets[i].first, buckets[i - 1].first);
+        EXPECT_GE(buckets[i].second, buckets[i - 1].second);
+    }
+    EXPECT_TRUE(std::isinf(buckets.back().first));
+    EXPECT_EQ(buckets.back().second, h.count());
+    // The zero/underflow bucket surfaces under le="1".
+    EXPECT_DOUBLE_EQ(buckets.front().first, 1.0);
+    EXPECT_EQ(buckets.front().second, h.zeroCount());
+
+    // Round-trip a percentile: walking the parsed cumulative curve to
+    // the median must bracket the live histogram's p50.
+    const std::uint64_t half = (h.count() + 1) / 2;
+    double lower = 0, median_upper = 0;
+    for (const auto& [upper, cum] : buckets) {
+        if (cum >= half) {
+            median_upper = upper;
+            break;
+        }
+        lower = upper;
+    }
+    EXPECT_GE(h.p50(), lower);
+    EXPECT_LE(h.p50(), median_upper);
 }
 
 TEST(MetricRegistry, CsvExportListsEveryInstrument)

@@ -108,6 +108,37 @@ TEST(Tracer, EventCapCountsDropsButKeepsMetadata)
     EXPECT_NE(doc.find("\"droppedEvents\":\"3\""), std::string::npos);
 }
 
+TEST(Tracer, CounterEventsYieldToSpansNearCap)
+{
+    Tracer tr;
+    tr.enable();
+    // Cap 8: the last quarter (2 slots) is reserved for spans, so
+    // counters stop being admitted at 6 events.
+    tr.setMaxEvents(8);
+    for (int i = 0; i < 10; ++i)
+        tr.counter(kCatCounter, "c", 1, sim::fromUs(i), 1.0);
+    EXPECT_EQ(tr.eventCount(), 6u);
+    EXPECT_EQ(tr.droppedCounterEvents(), 4u);
+
+    // Spans are still admitted into the reserve...
+    tr.instant(kCatApp, "s1", 1, 0, sim::fromUs(20));
+    tr.complete(kCatDma, "s2", 1, 0, sim::fromUs(21), sim::fromUs(22));
+    EXPECT_EQ(tr.eventCount(), 8u);
+    EXPECT_EQ(tr.droppedEvents(), tr.droppedCounterEvents())
+        << "no span may be dropped before the hard cap";
+
+    // ...and only drop once the hard cap itself is hit.
+    tr.instant(kCatApp, "s3", 1, 0, sim::fromUs(23));
+    EXPECT_EQ(tr.eventCount(), 8u);
+    EXPECT_EQ(tr.droppedEvents(), 5u);
+    EXPECT_EQ(tr.droppedCounterEvents(), 4u);
+
+    // A late counter is refused without displacing anything.
+    tr.counter(kCatCounter, "c", 1, sim::fromUs(24), 1.0);
+    EXPECT_EQ(tr.eventCount(), 8u);
+    EXPECT_EQ(tr.droppedCounterEvents(), 5u);
+}
+
 /** One fully traced 2 ms Rx run; returns the trace document. */
 std::string
 tracedRun()
