@@ -174,9 +174,18 @@ class ObsSession
         sampler_ = std::make_unique<obs::Sampler>(
             tb.sim(), hub_, report_, opt_.samplePeriod);
         obs::Sampler& s = *sampler_;
-        os::NetStack* st = &tb.serverStack(0);
-        s.watchRate("rx_gbps",
-                    [st] { return st->rxBytesDelivered(); });
+        if (bypass::PollPlane* pl = tb.serverPoll()) {
+            // Polled presets: delivery is whatever the ports harvested;
+            // there is no NetStack to ask.
+            s.watchRate("poll_rx_gbps",
+                        [pl] { return pl->rxBytesTotal(); });
+            s.watchRate("poll_tx_gbps",
+                        [pl] { return pl->txBytesTotal(); });
+        } else {
+            os::NetStack* st = &tb.serverStack(0);
+            s.watchRate("rx_gbps",
+                        [st] { return st->rxBytesDelivered(); });
+        }
         topo::Machine* m = &tb.server();
         s.watchRate("qpi_gbps", [m] { return m->qpiBytesTotal(); });
         s.watchRate("membw_gbps", [m] { return m->dramBytesTotal(); });

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Zero-copy DMA buffer pool for the bypass datapath.
+ *
+ * Buffers are homed per NUMA node (hugepage arenas pinned at init, in
+ * the real thing), so "allocate on node N" is a counter decrement, not
+ * a placement decision — placement was fixed when the pool was carved.
+ * A PollPort fills its Rx ring from the pool at setup; each harvested
+ * packet hands its buffer to the application (zero-copy) and the port
+ * immediately allocates a replacement for the ring. When the
+ * application holds more buffers than the pool's headroom, refills
+ * fail, ring credits stop returning, and the NIC starts dropping — the
+ * classic mempool-exhaustion failure mode, reproduced here so tests
+ * can pin it.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/hub.hpp"
+#include "sim/simulator.hpp"
+
+namespace octo::bypass {
+
+/** Per-node counting pool of fixed-size DMA packet buffers. */
+class Mempool
+{
+  public:
+    Mempool(sim::Simulator& sim, std::string name)
+        : sim_(sim), name_(std::move(name))
+    {
+        if (obs::Hub* h = obs::hub(sim_)) {
+            obs::MetricRegistry& reg = h->metrics();
+            const obs::Labels l = {{"pool", name_}};
+            reg.counterFn("bypass_mempool_allocs", l,
+                          [this] { return allocs_; });
+            reg.counterFn("bypass_mempool_frees", l,
+                          [this] { return frees_; });
+            reg.counterFn("bypass_mempool_exhausted", l,
+                          [this] { return exhausted_; });
+        }
+    }
+
+    Mempool(const Mempool&) = delete;
+    Mempool& operator=(const Mempool&) = delete;
+
+    /** Grow node @p node's arena by @p bufs buffers. */
+    void
+    addCapacity(int node, std::uint64_t bufs)
+    {
+        ensureNode(node);
+        cap_[node] += bufs;
+    }
+
+    /** Take one buffer from node @p node; false when the arena is dry. */
+    bool
+    tryAlloc(int node)
+    {
+        ensureNode(node);
+        if (used_[node] >= cap_[node]) {
+            ++exhausted_;
+            return false;
+        }
+        ++used_[node];
+        ++allocs_;
+        return true;
+    }
+
+    /** Return one buffer to node @p node's arena. */
+    void
+    free(int node)
+    {
+        assert(node < static_cast<int>(used_.size()) && used_[node] > 0);
+        --used_[node];
+        ++frees_;
+    }
+
+    std::uint64_t
+    capacity(int node) const
+    {
+        return node < static_cast<int>(cap_.size()) ? cap_[node] : 0;
+    }
+
+    std::uint64_t
+    inUse(int node) const
+    {
+        return node < static_cast<int>(used_.size()) ? used_[node] : 0;
+    }
+
+    std::uint64_t allocs() const { return allocs_; }
+    std::uint64_t frees() const { return frees_; }
+
+    /** Failed allocations (refill pressure; drops follow if sustained). */
+    std::uint64_t exhausted() const { return exhausted_; }
+
+  private:
+    void
+    ensureNode(int node)
+    {
+        if (node >= static_cast<int>(cap_.size())) {
+            cap_.resize(node + 1, 0);
+            used_.resize(node + 1, 0);
+            if (obs::Hub* h = obs::hub(sim_)) {
+                for (int n = registered_; n <= node; ++n) {
+                    const obs::Labels l = {{"pool", name_},
+                                           {"node", std::to_string(n)}};
+                    h->metrics().gaugeFn(
+                        "bypass_mempool_in_use", l, [this, n] {
+                            return static_cast<double>(used_[n]);
+                        });
+                }
+            }
+            registered_ = node + 1;
+        }
+    }
+
+    sim::Simulator& sim_;
+    std::string name_;
+    std::vector<std::uint64_t> cap_;
+    std::vector<std::uint64_t> used_;
+    int registered_ = 0;
+    std::uint64_t allocs_ = 0;
+    std::uint64_t frees_ = 0;
+    std::uint64_t exhausted_ = 0;
+};
+
+} // namespace octo::bypass

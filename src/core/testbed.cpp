@@ -22,8 +22,23 @@ modeName(ServerMode m)
     return "?";
 }
 
+std::string
+Testbed::presetName() const
+{
+    std::string name = modeName(cfg_.mode);
+    if (cfg_.bypass)
+        name += "-poll";
+    return name;
+}
+
 Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
 {
+    // The polled presets mirror only the single-netdev modes; the
+    // two-netdev baselines have no bypass counterpart.
+    assert(!cfg_.bypass || cfg_.mode == ServerMode::Local ||
+           cfg_.mode == ServerMode::Remote ||
+           cfg_.mode == ServerMode::Ioctopus);
+
     // Attach the observability hub before any component exists:
     // instruments are registered (and pointers cached) at construction.
     if (cfg_.hub != nullptr)
@@ -57,17 +72,26 @@ Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
     if (!cfg_.faults.empty()) {
         injector_ = std::make_unique<fault::Injector>(
             sim_,
-            fault::Targets{serverNic_.get(), serverStacks_.at(0).get(),
+            fault::Targets{serverNic_.get(),
+                           serverStacks_.empty()
+                               ? nullptr
+                               : serverStacks_.at(0).get(),
                            server_.get()},
             cfg_.faults);
         injector_->start();
     }
 
-    // Health monitoring rides on the team driver: only the Ioctopus
-    // preset has one netdev spanning both PFs to re-steer between.
+    // Health monitoring rides on the steerable plane: only the Ioctopus
+    // preset has one netdev spanning both PFs to re-steer between. The
+    // polled plane implements the same interface, so the monitor judges
+    // busy-polled queues exactly like interrupt-driven ones.
     if (cfg_.healthMonitor && cfg_.mode == ServerMode::Ioctopus) {
-        monitor_ = std::make_unique<health::HealthMonitor>(
-            *serverStacks_.at(0), cfg_.health);
+        steer::SteerablePlane& plane =
+            cfg_.bypass
+                ? static_cast<steer::SteerablePlane&>(*serverPoll_)
+                : *serverStacks_.at(0);
+        monitor_ =
+            std::make_unique<health::HealthMonitor>(plane, cfg_.health);
         monitor_->start();
     }
 }
@@ -89,6 +113,11 @@ Testbed::buildServerSide()
 
     const int per_node = cfg_.cal.coresPerNode;
     const int total = cfg_.cal.nodes * per_node;
+
+    if (cfg_.bypass) {
+        buildServerBypass(pf0, pf1);
+        return;
+    }
 
     switch (cfg_.mode) {
       case ServerMode::Local:
@@ -193,6 +222,31 @@ Testbed::buildServerSide()
 }
 
 void
+Testbed::buildServerBypass(pcie::PciFunction& pf0, pcie::PciFunction& pf1)
+{
+    // Same NIC/PF/queue geometry as the interrupt presets, but every
+    // queue is put into polled mode and handed to a PollPort: Local and
+    // Remote pin all rings behind PF0 (standard firmware), Ioctopus
+    // binds each ring to the PF local to its core's node (octo
+    // firmware). Port index == core id by construction.
+    serverPoll_ = std::make_unique<bypass::PollPlane>(
+        *server_, *serverNic_, cfg_.bypassCfg);
+    const int total = cfg_.cal.nodes * cfg_.cal.coresPerNode;
+    std::vector<int> qids;
+    for (int c = 0; c < total; ++c) {
+        topo::Core& core = server_->core(c);
+        pcie::PciFunction& pf =
+            cfg_.mode == ServerMode::Ioctopus && core.node() != 0 ? pf1
+                                                                  : pf0;
+        const int qid =
+            serverNic_->addQueue(core, pf, cfg_.rxRingEntries);
+        serverPoll_->addPort(core, qid);
+        qids.push_back(qid);
+    }
+    serverNic_->addNetdev(kServerIp, qids);
+}
+
+void
 Testbed::buildClientSide()
 {
     clientNic_ = std::make_unique<nic::NicDevice>(*client_, "clientNIC");
@@ -201,11 +255,29 @@ Testbed::buildClientSide()
     // Plain x16 NIC on node 0; the client workload also runs there.
     pcie::PciFunction& pf = clientNic_->addFunction(0, 16);
 
+    const int per_node = cfg_.cal.coresPerNode;
+    const int total = cfg_.cal.nodes * per_node;
+
+    if (cfg_.bypass) {
+        // The client polls too: one port per core behind the local x16
+        // PF, so client-side software cost never skews the comparison.
+        clientPoll_ = std::make_unique<bypass::PollPlane>(
+            *client_, *clientNic_, cfg_.bypassCfg);
+        std::vector<int> poll_qids;
+        for (int c = 0; c < total; ++c) {
+            topo::Core& core = client_->core(c);
+            const int qid =
+                clientNic_->addQueue(core, pf, cfg_.rxRingEntries);
+            clientPoll_->addPort(core, qid);
+            poll_qids.push_back(qid);
+        }
+        clientNic_->addNetdev(kClientIp, poll_qids);
+        return;
+    }
+
     clientStack_ = std::make_unique<os::NetStack>(*client_, *clientNic_,
                                                   cfg_.stack);
     std::vector<int> qids;
-    const int per_node = cfg_.cal.coresPerNode;
-    const int total = cfg_.cal.nodes * per_node;
     for (int c = 0; c < total; ++c) {
         const int qid = clientNic_->addQueue(client_->core(c), pf,
                                              cfg_.rxRingEntries);
@@ -240,6 +312,10 @@ TcpPair
 Testbed::connect(os::ThreadCtx& server_t, os::ThreadCtx& client_t,
                  bool tso, std::uint64_t window)
 {
+    // Sockets are a kernel-stack construct; the polled presets speak
+    // raw bursts through the PollPorts instead.
+    assert(!cfg_.bypass);
+
     // TwoNics: the socket binds to the netdev of the server thread's
     // node at creation time — the association §2.5 shows cannot follow
     // a migrating thread.

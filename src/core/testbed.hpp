@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "bypass/plane.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "health/monitor.hpp"
@@ -101,6 +102,16 @@ struct TestbedConfig
     /** Monitor tunables (thresholds, hysteresis, probation backoff). */
     health::HealthConfig health;
 
+    /** Kernel-bypass presets (`local-poll` / `remote-poll` /
+     *  `ioctopus-poll`): replace the NetStack on *both* hosts with a
+     *  bypass::PollPlane — per-core polled queues over the very same
+     *  NIC/PF/queue layout the interrupt presets build, no softirq, no
+     *  sockets. Only meaningful for Local / Remote / Ioctopus modes. */
+    bool bypass = false;
+
+    /** Polled-datapath tunables (burst size, mempool headroom). */
+    bypass::BypassConfig bypassCfg;
+
     /** Observability hub (metrics + tracing). Attached to the simulator
      *  before any component is built, so every layer registers its
      *  instruments. Null (the default) keeps observability fully off. */
@@ -151,6 +162,13 @@ class Testbed
     }
     os::NetStack& clientStack() { return *clientStack_; }
 
+    /** The polled planes (bypass presets only; null otherwise). */
+    bypass::PollPlane* serverPoll() { return serverPoll_.get(); }
+    bypass::PollPlane* clientPoll() { return clientPoll_.get(); }
+
+    /** Preset name for legends: modeName() plus "-poll" under bypass. */
+    std::string presetName() const;
+
     /** The fault injector; null when the config's plan is empty. */
     fault::Injector* injector() { return injector_.get(); }
 
@@ -195,6 +213,8 @@ class Testbed
   private:
     void buildServerSide();
     void buildClientSide();
+    void buildServerBypass(pcie::PciFunction& pf0,
+                           pcie::PciFunction& pf1);
 
     TestbedConfig cfg_;
     sim::Simulator sim_;
@@ -206,6 +226,8 @@ class Testbed
     std::unique_ptr<nic::Wire> wire_;
     std::vector<std::unique_ptr<os::NetStack>> serverStacks_;
     std::unique_ptr<os::NetStack> clientStack_;
+    std::unique_ptr<bypass::PollPlane> serverPoll_;
+    std::unique_ptr<bypass::PollPlane> clientPoll_;
     std::unique_ptr<fault::Injector> injector_;
     std::unique_ptr<health::HealthMonitor> monitor_;
 

@@ -1,6 +1,7 @@
 #include "fault/injector.hpp"
 
 #include "nic/device.hpp"
+#include "nvme/driver.hpp"
 #include "os/netstack.hpp"
 #include "topo/machine.hpp"
 
@@ -23,6 +24,8 @@ kindName(FaultKind k)
     case FaultKind::IrqDelay: return "irq_delay";
     case FaultKind::IrqDrop: return "irq_drop";
     case FaultKind::IrqRestore: return "irq_restore";
+    case FaultKind::NvmeDoorbellStuck: return "nvme_doorbell_stuck";
+    case FaultKind::NvmeCqStall: return "nvme_cq_stall";
     }
     return "unknown";
 }
@@ -266,6 +269,18 @@ Injector::apply(const FaultEvent& ev)
         } else {
             hit = false;
         }
+        break;
+    case FaultKind::NvmeDoorbellStuck:
+        if (targets_.nvme != nullptr)
+            targets_.nvme->stallDoorbell(ev.target, ev.duration);
+        else
+            hit = false;
+        break;
+    case FaultKind::NvmeCqStall:
+        if (targets_.nvme != nullptr)
+            targets_.nvme->stallCq(ev.target, ev.duration);
+        else
+            hit = false;
         break;
     }
 

@@ -20,6 +20,9 @@
 namespace octo::nic {
 class NicDevice;
 }
+namespace octo::nvme {
+class NvmeDriver;
+}
 namespace octo::os {
 class NetStack;
 }
@@ -36,6 +39,7 @@ struct Targets
     nic::NicDevice* nic = nullptr;
     os::NetStack* stack = nullptr;
     topo::Machine* machine = nullptr;
+    nvme::NvmeDriver* nvme = nullptr;
 };
 
 class Injector

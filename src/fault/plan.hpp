@@ -38,9 +38,11 @@ enum class FaultKind
     IrqDelay,         ///< Extra delivery latency on every interrupt.
     IrqDrop,          ///< Lose every n-th interrupt (watchdog recovers).
     IrqRestore,       ///< Clear all interrupt faults.
+    NvmeDoorbellStuck, ///< NVMe SQ doorbell writes ignored for a duration.
+    NvmeCqStall,       ///< NVMe CQ posting wedged for a duration.
 };
 
-constexpr int kFaultKindCount = 13;
+constexpr int kFaultKindCount = 15;
 
 /** Human-readable kind name (logs, CSV columns, test messages). */
 const char* kindName(FaultKind k);
@@ -178,6 +180,25 @@ class FaultPlan
     irqRestore(sim::Tick at)
     {
         return add({at, FaultKind::IrqRestore, 0, 0, 1.0, 0});
+    }
+
+    /** NVMe SQ @p sq's doorbell register stops accepting writes for
+     *  @p duration: submissions block at the doorbell (firmware hang,
+     *  the SQ-grain mirror of the NIC's QueueStall). */
+    FaultPlan&
+    nvmeDoorbellStuck(sim::Tick at, int sq, sim::Tick duration)
+    {
+        return add(
+            {at, FaultKind::NvmeDoorbellStuck, sq, 0, 1.0, duration});
+    }
+
+    /** NVMe SQ @p sq's completion-queue posting wedges for @p duration:
+     *  IOs complete on media but their CQEs surface only after the CQ
+     *  unwedges. */
+    FaultPlan&
+    nvmeCqStall(sim::Tick at, int sq, sim::Tick duration)
+    {
+        return add({at, FaultKind::NvmeCqStall, sq, 0, 1.0, duration});
     }
 
     /**

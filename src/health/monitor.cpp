@@ -21,6 +21,7 @@ HealthMonitor::HealthMonitor(steer::SteerablePlane& plane,
         base_.push_back({});
     }
     pfDrained_.assign(pfs, 0);
+    probing_.assign(pfs, 0);
     qscores_.reserve(queues);
     for (int q = 0; q < queues; ++q) {
         // A queue has no bandwidth of its own: its score runs on a unit
@@ -141,6 +142,13 @@ HealthMonitor::run()
                          {"error_delta", s.errorDelta}});
                 }
             }
+            // Probation exit wants an active probe: launch one (at most
+            // one in flight per PF) and let its result promote/demote.
+            if (cfg_.probePromotion && scores_[i].probePending() &&
+                probing_[i] == 0) {
+                probing_[i] = 1;
+                runProbe(static_cast<int>(i)).detach();
+            }
         }
         for (std::size_t q = 0; q < qscores_.size(); ++q) {
             const EndpointTelemetry t = plane_.telemetry(
@@ -174,6 +182,32 @@ HealthMonitor::run()
         if (changed)
             applyWeights();
     }
+}
+
+sim::Task<>
+HealthMonitor::runProbe(int pf)
+{
+    ++probesSent_;
+    sim::Simulator& sim = plane_.planeSim();
+    if (auto* tr = obs::tracer(sim, obs::kCatHealth)) {
+        tr->instant(obs::kCatHealth, "probe_start", tracePid_, 0,
+                    sim.now(), {{"endpoint", Endpoint::ofPf(pf).name()}});
+    }
+    const bool ok = co_await plane_.probe(pf);
+    probing_.at(pf) = 0;
+    const sim::Tick now = sim.now();
+    const bool moved = ok ? (++probesPassed_,
+                             scores_.at(pf).probeSucceeded(now))
+                          : (++probesFailed_,
+                             scores_.at(pf).probeFailed(now));
+    if (auto* tr = obs::tracer(sim, obs::kCatHealth)) {
+        tr->instant(obs::kCatHealth, "probe_result", tracePid_, 0, now,
+                    {{"endpoint", Endpoint::ofPf(pf).name()},
+                     {"passed", ok ? 1 : 0},
+                     {"state", stateName(scores_.at(pf).state())}});
+    }
+    if (moved)
+        applyWeights();
 }
 
 void

@@ -113,11 +113,18 @@ class HealthMonitor
      *  several endpoints). Bounded-flap tests assert on this. */
     std::uint64_t verdicts() const { return verdicts_; }
 
+    // ------------------------------------------------ probation probes
+    /** Probes launched / passed / failed (probePromotion mode). */
+    std::uint64_t probesSent() const { return probesSent_; }
+    std::uint64_t probesPassed() const { return probesPassed_; }
+    std::uint64_t probesFailed() const { return probesFailed_; }
+
     /** Current effective steering weights, one per PF. */
     std::vector<double> weights() const;
 
   private:
     sim::Task<> run();
+    sim::Task<> runProbe(int pf);
     void applyWeights();
 
     /** A queue-grain verdict that evacuates the queue alone. */
@@ -145,10 +152,14 @@ class HealthMonitor
     std::vector<int> lastTarget_; ///< Last PF target pushed per queue.
     std::vector<char> pfDrained_;
     std::vector<char> qDrained_;
+    std::vector<char> probing_; ///< A probe is in flight for this PF.
     sim::Task<> task_;
     bool started_ = false;
     std::uint64_t samples_ = 0;
     std::uint64_t verdicts_ = 0;
+    std::uint64_t probesSent_ = 0;
+    std::uint64_t probesPassed_ = 0;
+    std::uint64_t probesFailed_ = 0;
     int tracePid_ = 0; ///< Trace process for this plane's health lane.
 };
 

@@ -108,6 +108,14 @@ struct HealthConfig
      *  bandwidth fraction by this factor: a stalling PF is treated as
      *  sick even when its link trains at full width. */
     double stallPenalty = 0.50;
+
+    /** Gate Probation exit on an active probe: instead of promoting on
+     *  clean-sample counting alone, the monitor sends a tiny RR probe
+     *  load through the recovering PF and promotes only when it
+     *  completes cleanly. A probe failure re-demotes (to Failed, with
+     *  backoff escalation) without any real flow having touched the
+     *  path. Off by default: telemetry-only promotion. */
+    bool probePromotion = false;
 };
 
 /** One monitor sample of a PF's observable state. */
@@ -220,11 +228,43 @@ class HealthScore
                 belowStreak_ = cfg_.enterSamples;
                 return degrade(s.now, bw);
             }
-            if (++cleanStreak_ >= cfg_.exitSamples)
-                return promote(s.now);
+            if (++cleanStreak_ >= cfg_.exitSamples) {
+                if (!cfg_.probePromotion)
+                    return promote(s.now);
+                // Telemetry looks clean: hand the verdict to an active
+                // probe. Streak resets so a lost probe re-arms after
+                // another clean streak rather than spamming.
+                probePending_ = true;
+                cleanStreak_ = 0;
+            }
             return false;
         }
         return false;
+    }
+
+    /** A probe should be launched (Probation clean streak complete). */
+    bool probePending() const { return probePending_; }
+
+    /** Probe completed cleanly: promote. No-op when the state moved on
+     *  (relapse while the probe was in flight). Returns verdict-changed. */
+    bool
+    probeSucceeded(sim::Tick now)
+    {
+        if (!probePending_ || state_ != HealthState::Probation)
+            return false;
+        probePending_ = false;
+        return promote(now);
+    }
+
+    /** Probe failed: the path only *looked* healthy. Re-demote to
+     *  Failed with backoff escalation. Returns verdict-changed. */
+    bool
+    probeFailed(sim::Tick now)
+    {
+        if (!probePending_ || state_ != HealthState::Probation)
+            return false;
+        probePending_ = false;
+        return fail(now);
     }
 
   private:
@@ -273,6 +313,7 @@ class HealthScore
         weight_ = w;
         belowStreak_ = 0;
         cleanStreak_ = 0;
+        probePending_ = false; // any transition voids an armed probe
         ++transitions_;
         return true;
     }
@@ -316,6 +357,7 @@ class HealthScore
     sim::Tick backoff_;
     int belowStreak_ = 0;
     int cleanStreak_ = 0;
+    bool probePending_ = false;
     std::uint64_t transitions_ = 0;
     std::uint64_t relapses_ = 0;
 };

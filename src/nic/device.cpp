@@ -71,6 +71,15 @@ NicDevice::start()
 }
 
 void
+NicDevice::setQueuePolled(int qid)
+{
+    NicQueue& q = *queues_.at(qid);
+    q.polled = true;
+    q.rxIrqArmed = false;
+    q.txIrqArmed = false;
+}
+
+void
 NicDevice::steerFlow(const FiveTuple& flow, int qid)
 {
     steering_[flow] = qid;
@@ -378,6 +387,8 @@ void
 NicDevice::rearmRxIrq(int qid)
 {
     NicQueue& q = *queues_.at(qid);
+    if (q.polled)
+        return;
     q.rxIrqArmed = true;
     if (!q.rxCq.empty())
         maybeRaiseRxIrq(q);
@@ -387,6 +398,8 @@ void
 NicDevice::rearmTxIrq(int qid)
 {
     NicQueue& q = *queues_.at(qid);
+    if (q.polled)
+        return;
     q.txIrqArmed = true;
     if (!q.txCq.empty())
         maybeRaiseTxIrq(q);

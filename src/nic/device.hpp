@@ -100,6 +100,8 @@ struct NicQueue
     sim::Semaphore rxCredits;
     bool rxIrqArmed = true;
     bool txIrqArmed = true;
+    bool polled = false; ///< Bypass mode: never raise interrupts; a
+                         ///< busy-poll port harvests both CQs directly.
     std::uint64_t rxFrames = 0;
     std::uint64_t txFrames = 0;
     std::uint64_t rxReaped = 0; ///< Completions processed by softirq.
@@ -153,6 +155,14 @@ class NicDevice
 
     /** Rx interrupt coalescing delay (0 disables coalescing). */
     void setRxCoalesce(Tick t) { rxCoalesce_ = t; }
+
+    /**
+     * Put queue @p qid in polled (kernel-bypass) mode: both interrupt
+     * sources are masked permanently and stay masked across rearm
+     * calls. Completions simply accumulate in the CQs until a
+     * bypass::PollPort harvests them.
+     */
+    void setQueuePolled(int qid);
 
     /** Bonding/teaming (§2.5): with multiple netdevs registered under
      *  one address, the (simulated) switch hashes each unsteered flow

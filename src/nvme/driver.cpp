@@ -59,14 +59,24 @@ NvmeDriver::sqForNode(int node) const
 Task<Tick>
 NvmeDriver::read(std::uint64_t bytes, int buf_node, int submit_node)
 {
+    sim::Simulator& sim = dev_.host().sim();
     NvmeSq& sq = sqs_.at(sqForNode(submit_node));
+    // A stuck doorbell blocks the submission itself: the write to the
+    // SQ tail register is simply not accepted until the fault clears.
+    if (sq.doorbellStuckUntil > sim.now())
+        co_await sim::delay(sim, sq.doorbellStuckUntil - sim.now());
     // The port is latched at submission: a re-steer mid-IO moves only
     // subsequent submissions, mirroring the NIC's drain-then-rebind.
     pcie::PciFunction& pf = dev_.port(sq.pf);
     ++sq.inflight;
     ++sq.ios;
-    const Tick start = dev_.host().sim().now();
+    const Tick start = sim.now();
     const Tick lat = co_await dev_.readVia(pf, bytes, buf_node, sq.node);
+    // A wedged CQ holds the completion: the IO is done on media and its
+    // DMA has landed, but the caller observes it only after the CQ
+    // resumes posting.
+    if (sq.cqStallUntil > sim.now())
+        co_await sim::delay(sim, sq.cqStallUntil - sim.now());
     sq.bytes += bytes;
     --sq.inflight;
     if (obE2e_ != nullptr)
@@ -100,6 +110,22 @@ NvmeDriver::read(std::uint64_t bytes, int buf_node, int submit_node)
     co_return lat;
 }
 
+void
+NvmeDriver::stallDoorbell(int sq, Tick duration)
+{
+    NvmeSq& q = sqs_.at(sq);
+    q.doorbellStuckUntil = dev_.host().sim().now() + duration;
+    ++q.stallEvents;
+}
+
+void
+NvmeDriver::stallCq(int sq, Tick duration)
+{
+    NvmeSq& q = sqs_.at(sq);
+    q.cqStallUntil = dev_.host().sim().now() + duration;
+    ++q.stallEvents;
+}
+
 EndpointTelemetry
 NvmeDriver::telemetry(const Endpoint& ep) const
 {
@@ -118,11 +144,16 @@ NvmeDriver::telemetry(const Endpoint& ep) const
     }
     const NvmeSq& sq = sqs_.at(ep.queue);
     const pcie::PciFunction& pf = dev.port(sq.pf);
+    const Tick now = dev.host().sim().now();
     t.linkUp = pf.linkUp();
-    // An SQ has no datapath faults of its own; its effective bandwidth
-    // is whatever the port it is currently bound to can train to.
-    t.bwFraction = pf.bwFraction();
+    // The SQ's effective bandwidth is whatever the port it is bound to
+    // can train to — unless the SQ itself is wedged (stuck doorbell or
+    // stalled CQ), in which case it moves nothing regardless of the
+    // port, mirroring a stalled NIC queue.
+    t.impaired = sq.doorbellStuckUntil > now || sq.cqStallUntil > now;
+    t.bwFraction = t.impaired ? 0.0 : pf.bwFraction();
     t.nominalGbps = pf.nominalGbps();
+    t.stalls = sq.stallEvents;
     t.currentPf = sq.pf;
     t.homePf = sq.homePf;
     t.node = sq.node;

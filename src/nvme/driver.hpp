@@ -46,6 +46,9 @@ struct NvmeSq
     int inflight = 0;
     std::uint64_t ios = 0;
     std::uint64_t bytes = 0;
+    sim::Tick doorbellStuckUntil = 0; ///< Doorbell-stuck fault deadline.
+    sim::Tick cqStallUntil = 0;       ///< CQ-stall fault deadline.
+    std::uint64_t stallEvents = 0;    ///< Stall faults applied to this SQ.
 };
 
 /**
@@ -114,6 +117,23 @@ class NvmeDriver : public steer::SteerablePlane
     }
 
     std::uint64_t resteersPerformed() const override { return resteers_; }
+
+    // --------------------------------------------------- fault injection
+    /** SQ @p sq's doorbell register stops accepting writes for
+     *  @p duration: submissions block at the doorbell until it frees
+     *  (the SQ-grain mirror of the NIC's QueueStall). */
+    void stallDoorbell(int sq, sim::Tick duration);
+
+    /** SQ @p sq's completion posting wedges for @p duration: IOs
+     *  finish on media but their CQEs surface only afterwards. */
+    void stallCq(int sq, sim::Tick duration);
+
+    /** Stall fault events applied to SQ @p id (either kind). */
+    std::uint64_t
+    sqStallEvents(int id) const
+    {
+        return sqs_.at(id).stallEvents;
+    }
 
     /** Administrative SQ drains requested through the plane. */
     std::uint64_t adminDrains() const { return adminDrains_; }

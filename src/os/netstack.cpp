@@ -583,6 +583,43 @@ NetStack::drainAndRebind(int qid, int pf_idx, std::uint64_t epoch)
     }
 }
 
+sim::Task<bool>
+NetStack::probe(int pf_idx)
+{
+    // Pick a queue currently bound to the PF under probation; the
+    // probe rides the normal Tx path (descriptor fetch, wire, CQE
+    // write-back, softirq reap) but belongs to no socket.
+    int qid = -1;
+    for (int q = 0; q < device_.queueCount(); ++q) {
+        if (device_.queue(q).pf->id() == pf_idx) {
+            qid = q;
+            break;
+        }
+    }
+    if (qid < 0 || !device_.function(pf_idx).linkUp())
+        co_return false;
+    const std::uint64_t aborts0 = device_.pfTxAborts(pf_idx);
+    sim::Semaphore done(sim_, 0);
+    nic::TxDesc d;
+    d.flow.srcPort = 1; // unmatched control flow: both ends discard it
+    d.flow.dstPort = 1;
+    d.bytes = 64;
+    d.skbNode = device_.queue(qid).bufNode;
+    d.loc = DataLoc::Llc;
+    d.fastPath = true;
+    d.completionSem = &done;
+    d.sentAt = sim_.now();
+    co_await device_.postTx(qid, d);
+    const Tick deadline = sim_.now() + cfg_.steerWatchdog;
+    while (!done.tryAcquire()) {
+        if (sim_.now() >= deadline)
+            co_return false;
+        co_await delay(sim_, fromUs(5));
+    }
+    co_return device_.pfTxAborts(pf_idx) == aborts0 &&
+        device_.function(pf_idx).linkUp();
+}
+
 void
 NetStack::applyPfEvent(int pf_idx, bool up)
 {

@@ -214,6 +214,16 @@ class NetStack : public nic::NicSink, public steer::SteerablePlane
     }
 
     /**
+     * Probation probe: post one tiny fast-path descriptor on a queue
+     * bound to PF @p pf and wait (watchdog-bounded) for its completion
+     * to come back clean — no socket, no real flow. The completion is
+     * reaped by the normal Tx softirq; success means the descriptor
+     * fetch, wire, and CQE write-back all worked through the recovered
+     * endpoint.
+     */
+    sim::Task<bool> probe(int pf) override;
+
+    /**
      * Re-steer queue @p qid's DMA behind PF @p pf_idx: issue the
      * firmware RPC, drain the in-flight completions of the old binding
      * (bounded by the steerWatchdog), then rebind. A newer re-steer for

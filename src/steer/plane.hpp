@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "sim/task.hpp"
 #include "steer/endpoint.hpp"
 
 namespace octo::sim {
@@ -115,6 +116,21 @@ class SteerablePlane
     virtual void applyPfWeights(const std::vector<double>& weights)
     {
         (void)weights;
+    }
+
+    /**
+     * Send a tiny probe load through PF @p pf and report whether it
+     * completed cleanly (probation-exit gate: the monitor calls this
+     * before promoting a recovering PF so real flows never test a path
+     * that only *looks* healthy). Implementations post control-path
+     * traffic only; the default accepts unconditionally, preserving
+     * pure clean-sample promotion for planes without a probe path.
+     */
+    virtual sim::Task<bool>
+    probe(int pf)
+    {
+        (void)pf;
+        co_return true;
     }
 
     /** Endpoint rebinds actually performed (not superseded/no-op). */

@@ -115,6 +115,21 @@ struct Calibration
      *  excluding the CQE line read which is simulated. */
     Tick txCompletionTcp = fromNs(520);
 
+    // --------------------------------------- Software path: kernel bypass
+    /** Per-frame Rx harvest cost in a busy-poll loop (descriptor parse +
+     *  ring bookkeeping, no softirq, no socket). The CQE line read is
+     *  charged separately through the same residency model the softirq
+     *  uses — that is the NUDMA term bypass cannot remove. */
+    Tick bypassRxPerFrame = fromNs(35);
+    /** Per-frame Tx descriptor write in a burst; the doorbell MMIO is
+     *  charged once per burst (the batching win over pktgenPerPacket). */
+    Tick bypassTxPerFrame = fromNs(40);
+    /** Per-completion Tx harvest bookkeeping (CQE read charged apart). */
+    Tick bypassTxCompletion = fromNs(15);
+    /** One empty poll probe of a quiet completion ring (LLC-resident
+     *  head pointer check). Also the spin-loop pacing quantum. */
+    Tick bypassEmptyPoll = fromNs(25);
+
     // ------------------------------------------------ Interrupts & sched
     Tick irqDelivery = fromNs(1400);   ///< IRQ to softirq-start, same node.
     Tick wakeupCost = fromUs(1.6);     ///< Blocked-thread wakeup + switch.

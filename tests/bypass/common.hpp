@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the bypass suite: a client->server traffic flow,
+ * a burst producer, and a harvest-and-free sink, mirroring the loops a
+ * DPDK-style application would run on the PollPorts.
+ */
+#pragma once
+
+#include <vector>
+
+#include "bypass/plane.hpp"
+#include "core/testbed.hpp"
+#include "sim/sync.hpp"
+#include "sim/task.hpp"
+
+namespace octo::bypass {
+
+/** The canonical client->server test flow. */
+inline nic::FiveTuple
+testFlow()
+{
+    nic::FiveTuple f;
+    f.srcIp = core::Testbed::kClientIp;
+    f.dstIp = core::Testbed::kServerIp;
+    f.srcPort = 7000;
+    f.dstPort = 7001;
+    f.proto = nic::Proto::Udp;
+    return f;
+}
+
+/** Closed-loop burst transmitter bounded by @p inflight. */
+inline sim::Task<>
+producerLoop(PollPort& port, nic::FiveTuple flow, std::uint32_t bytes,
+             sim::Semaphore& inflight, int burst = 32)
+{
+    for (;;) {
+        int n = 0;
+        while (n < burst && inflight.tryAcquire())
+            ++n;
+        if (n > 0)
+            co_await port.txBurst(flow, bytes, n, &inflight);
+        co_await port.harvestTx(2 * burst);
+    }
+}
+
+/** Harvest-and-free receive sink. */
+inline sim::Task<>
+sinkLoop(PollPort& port, int burst = 32)
+{
+    std::vector<RxPacket> pkts(static_cast<std::size_t>(burst));
+    for (;;) {
+        const int n = co_await port.rxBurst(pkts.data(), burst);
+        for (int i = 0; i < n; ++i)
+            port.freePacket(pkts[i]);
+    }
+}
+
+/** A client->server stream on a bypass testbed: producer on client
+ *  port 0, sink on server port @p server_port, flow steered to it. */
+struct BypassStream
+{
+    sim::Semaphore inflight;
+    sim::Task<> producer;
+    sim::Task<> sink;
+
+    BypassStream(core::Testbed& tb, int server_port,
+                 std::uint32_t bytes = 1024, int depth = 256)
+        : inflight(tb.sim(), depth)
+    {
+        // Steer before the eager producer posts its first burst.
+        tb.serverPoll()->steerFlow(testFlow(), server_port);
+        sink = sinkLoop(tb.serverPoll()->port(server_port));
+        producer = producerLoop(tb.clientPoll()->port(0), testFlow(),
+                                bytes, inflight);
+    }
+};
+
+} // namespace octo::bypass

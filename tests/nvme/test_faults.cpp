@@ -1,0 +1,210 @@
+/**
+ * @file
+ * NVMe SQ-grain fault tests: the doorbell-stuck and CQ-stall fault
+ * kinds (the SSD mirrors of the NIC's QueueStall/QueuePoison) delay
+ * IOs the way the fault says they should, surface as impaired SQ
+ * telemetry, replay through the fault injector, and — under a health
+ * monitor — evacuate exactly the wedged SQ behind the healthy port.
+ */
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.hpp"
+#include "fault/plan.hpp"
+#include "health/monitor.hpp"
+#include "nvme/driver.hpp"
+#include "nvme/nvme.hpp"
+#include "sim/simulator.hpp"
+#include "steer/endpoint.hpp"
+#include "topo/calibration.hpp"
+#include "topo/machine.hpp"
+
+namespace octo::nvme {
+namespace {
+
+using health::HealthState;
+using sim::fromMs;
+using sim::fromUs;
+using sim::Tick;
+using steer::Endpoint;
+
+struct Rig
+{
+    sim::Simulator sim;
+    topo::Calibration cal;
+    topo::Machine m{sim, cal};
+    NvmeDevice ssd{m, 0, 8, "ssd"};
+    NvmeDriver drv{ssd};
+
+    Rig()
+    {
+        ssd.addSecondPort(1, 8);
+        drv.addSq(0);
+        drv.addSq(1);
+    }
+
+    /** Schedule one read on SQ @p node; writes its completion tick. */
+    void
+    scheduleRead(Tick at, int node, Tick* done)
+    {
+        sim.schedule(at, [this, node, done] {
+            sim::spawn([this, node, done]() -> sim::Task<> {
+                co_await drv.read(4096, node, node);
+                *done = sim.now();
+            }).detach();
+        });
+    }
+
+    /** Issue one read on SQ @p node and return its completion time. */
+    Tick
+    timedRead(Tick at, int node)
+    {
+        Tick done = 0;
+        scheduleRead(at, node, &done);
+        sim.runUntil(at + fromMs(20));
+        return done;
+    }
+};
+
+// ---------------------------------------------------------------------
+// A stuck doorbell blocks the *submission*: the IO completes only after
+// the fault deadline, inflating latency by roughly the stall length.
+// ---------------------------------------------------------------------
+TEST(NvmeFaults, DoorbellStuckDelaysSubmission)
+{
+    Rig rig;
+    const Tick t0 = fromMs(1);
+    const Tick base_done = rig.timedRead(t0, 0);
+    ASSERT_GT(base_done, t0);
+    const Tick base_lat = base_done - t0;
+
+    // Wedge SQ 0's doorbell for 2 ms, then read through it — while a
+    // concurrent read on the sibling SQ sails through the same window.
+    const Tick t1 = fromMs(30);
+    rig.sim.schedule(t1, [&] { rig.drv.stallDoorbell(0, fromMs(2)); });
+    Tick done = 0;
+    Tick sibling = 0;
+    rig.scheduleRead(t1, 0, &done);
+    rig.scheduleRead(t1 + fromUs(10), 1, &sibling);
+    rig.sim.runUntil(t1 + fromMs(20));
+    EXPECT_GE(done, t1 + fromMs(2)) << "submission beat the stuck doorbell";
+    EXPECT_GE(done - t1, base_lat + fromMs(1));
+    EXPECT_EQ(rig.drv.sqStallEvents(0), 1u);
+    EXPECT_LT(sibling - (t1 + fromUs(10)), base_lat + fromUs(50))
+        << "the sibling SQ must be untouched by the stall";
+}
+
+// ---------------------------------------------------------------------
+// A wedged CQ holds the *completion*: the IO is done on media but the
+// caller observes it only after the CQ resumes posting.
+// ---------------------------------------------------------------------
+TEST(NvmeFaults, CqStallHoldsCompletion)
+{
+    Rig rig;
+    const Tick t0 = fromMs(1);
+    const Tick base_lat = rig.timedRead(t0, 0) - t0;
+
+    const Tick t1 = fromMs(30);
+    rig.sim.schedule(t1, [&] { rig.drv.stallCq(0, fromMs(3)); });
+    const Tick done = rig.timedRead(t1, 0);
+    EXPECT_GE(done, t1 + fromMs(3)) << "completion escaped the wedged CQ";
+    EXPECT_GE(done - t1, base_lat + fromMs(2));
+}
+
+// ---------------------------------------------------------------------
+// While either fault is pending, the SQ's telemetry reports impaired
+// with zero bandwidth — the signal the monitor's queue-grain scoring
+// keys on — and recovers once the deadline passes.
+// ---------------------------------------------------------------------
+TEST(NvmeFaults, StallSurfacesAsImpairedSqTelemetry)
+{
+    Rig rig;
+    rig.sim.schedule(fromMs(5), [&] { rig.drv.stallCq(0, fromMs(10)); });
+
+    rig.sim.runUntil(fromMs(8)); // mid-stall
+    const auto mid = rig.drv.telemetry(Endpoint::ofQueue(0, 0));
+    EXPECT_TRUE(mid.impaired);
+    EXPECT_DOUBLE_EQ(mid.bwFraction, 0.0);
+    EXPECT_EQ(mid.stalls, 1u);
+    const auto sibling = rig.drv.telemetry(Endpoint::ofQueue(1, 1));
+    EXPECT_FALSE(sibling.impaired);
+
+    rig.sim.runUntil(fromMs(20)); // healed
+    const auto after = rig.drv.telemetry(Endpoint::ofQueue(0, 0));
+    EXPECT_FALSE(after.impaired);
+    EXPECT_DOUBLE_EQ(after.bwFraction, 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Injector wiring: the NVMe fault kinds replay from a FaultPlan against
+// Targets.nvme, and skip cleanly when no driver is attached.
+// ---------------------------------------------------------------------
+TEST(NvmeFaults, InjectorRepliesNvmeFaultsAgainstTheDriver)
+{
+    Rig rig;
+    fault::FaultPlan plan;
+    plan.nvmeDoorbellStuck(fromMs(2), 0, fromMs(1))
+        .nvmeCqStall(fromMs(4), 1, fromMs(1));
+    fault::Injector inj(rig.sim,
+                        fault::Targets{nullptr, nullptr, nullptr,
+                                       &rig.drv},
+                        plan);
+    inj.start();
+    rig.sim.runUntil(fromMs(10));
+
+    EXPECT_TRUE(inj.done());
+    EXPECT_EQ(inj.applied(), 2u);
+    EXPECT_EQ(inj.appliedOf(fault::FaultKind::NvmeDoorbellStuck), 1u);
+    EXPECT_EQ(inj.appliedOf(fault::FaultKind::NvmeCqStall), 1u);
+    EXPECT_EQ(rig.drv.sqStallEvents(0), 1u);
+    EXPECT_EQ(rig.drv.sqStallEvents(1), 1u);
+}
+
+TEST(NvmeFaults, InjectorSkipsNvmeFaultsWithoutADriver)
+{
+    sim::Simulator sim;
+    fault::FaultPlan plan;
+    plan.nvmeCqStall(fromMs(1), 0, fromMs(1));
+    fault::Injector inj(sim, fault::Targets{}, plan);
+    inj.start();
+    sim.runUntil(fromMs(5));
+    EXPECT_EQ(inj.applied(), 0u);
+    EXPECT_EQ(inj.skipped(), 1u);
+}
+
+// ---------------------------------------------------------------------
+// End to end: under a health monitor, a CQ stall evacuates exactly the
+// wedged SQ behind the healthy port (queue-grain verdict — the port
+// itself stays Healthy) and brings it home after recovery.
+// ---------------------------------------------------------------------
+TEST(NvmeFaults, MonitoredCqStallEvacuatesExactlyTheWedgedSq)
+{
+    Rig rig;
+    health::HealthMonitor mon(rig.drv);
+    mon.start();
+    fault::FaultPlan plan;
+    plan.nvmeCqStall(fromMs(40), 0, fromMs(30));
+    fault::Injector inj(rig.sim,
+                        fault::Targets{nullptr, nullptr, nullptr,
+                                       &rig.drv},
+                        plan);
+    inj.start();
+
+    rig.sim.runUntil(fromMs(55)); // mid-stall, past detection
+    EXPECT_EQ(mon.queueState(0), HealthState::Degraded);
+    EXPECT_EQ(mon.state(0), HealthState::Healthy)
+        << "an SQ stall must not tar the whole port";
+    EXPECT_EQ(rig.drv.sq(0).pf, 1) << "SQ 0 not evacuated";
+    EXPECT_EQ(rig.drv.sq(1).pf, rig.drv.sq(1).homePf)
+        << "healthy sibling SQ moved";
+    EXPECT_GE(rig.drv.resteersPerformed(), 1u);
+
+    rig.sim.runUntil(fromMs(120)); // healed + probation passed
+    EXPECT_EQ(mon.queueState(0), HealthState::Healthy);
+    EXPECT_EQ(rig.drv.sq(0).pf, rig.drv.sq(0).homePf)
+        << "SQ 0 did not come home";
+}
+
+} // namespace
+} // namespace octo::nvme

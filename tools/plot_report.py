@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Plot octo.report.v1 run reports as time-series figures.
+
+Every traced bench run writes ``<prefix>_report.json`` (schema
+``octo.report.v1``): one entry per run label, each with a sample clock
+(``time_ms``) and a set of named series (``poll_rx_gbps``, ``qpi_gbps``,
+``weight_pf0`` ...). This tool renders them with one subplot per unit —
+rates share an axis, gauge tracks get their own — and one line per
+(run, series) pair, so a remote-vs-ioctopus comparison lands on the
+same axes.
+
+Usage:
+    python3 tools/plot_report.py bypass_rr_report.json
+    python3 tools/plot_report.py fig08_report.json -o fig08.png
+    python3 tools/plot_report.py a_report.json b_report.json -o cmp.png
+
+Only the Python standard library plus matplotlib are required; the tool
+exits with a clear message when matplotlib is unavailable.
+"""
+
+import argparse
+import json
+import sys
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:
+    sys.exit(
+        "plot_report.py: matplotlib is not installed; install it or "
+        "inspect the report JSON/CSV directly"
+    )
+
+UNIT_LABEL = {
+    "gbps": "throughput [Gb/s]",
+    "per_s": "rate [1/s]",
+    "value": "value",
+}
+
+
+def load_report(path):
+    """Parse and schema-check one report file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema != "octo.report.v1":
+        sys.exit(f"{path}: unsupported schema {schema!r}")
+    runs = doc.get("runs", [])
+    if not runs:
+        sys.exit(f"{path}: report contains no runs")
+    return runs
+
+
+def collect(paths):
+    """Flatten (unit -> [(label, times, values)]) across all inputs."""
+    by_unit = {}
+    for path in paths:
+        for run in load_report(path):
+            times = run.get("time_ms", [])
+            for series in run.get("series", []):
+                label = f"{run.get('run', '?')}:{series.get('name')}"
+                if len(paths) > 1:
+                    label = f"{path}:{label}"
+                unit = series.get("unit", "value")
+                values = series.get("values", [])
+                n = min(len(times), len(values))
+                by_unit.setdefault(unit, []).append(
+                    (label, times[:n], values[:n])
+                )
+    if not by_unit:
+        sys.exit("no series found in any input report")
+    return by_unit
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Plot octo.report.v1 telemetry time series."
+    )
+    ap.add_argument("reports", nargs="+", help="*_report.json inputs")
+    ap.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        help="output image (default: <first input stem>.png)",
+    )
+    ap.add_argument(
+        "--title", default=None, help="overall figure title"
+    )
+    args = ap.parse_args()
+
+    by_unit = collect(args.reports)
+    units = sorted(by_unit)
+    fig, axes = plt.subplots(
+        len(units),
+        1,
+        figsize=(9, 3.2 * len(units)),
+        squeeze=False,
+        sharex=True,
+    )
+    for ax, unit in zip((row[0] for row in axes), units):
+        for label, times, values in by_unit[unit]:
+            ax.plot(times, values, label=label, linewidth=1.2)
+        ax.set_ylabel(UNIT_LABEL.get(unit, unit))
+        ax.grid(True, alpha=0.3)
+        ax.legend(fontsize=8, loc="best")
+    axes[-1][0].set_xlabel("simulated time [ms]")
+    if args.title:
+        fig.suptitle(args.title)
+    fig.tight_layout()
+
+    out = args.out
+    if out is None:
+        stem = args.reports[0]
+        if stem.endswith(".json"):
+            stem = stem[: -len(".json")]
+        out = stem + ".png"
+    fig.savefig(out, dpi=150)
+    n_series = sum(len(v) for v in by_unit.values())
+    print(f"wrote {out}: {n_series} series across {len(units)} axes")
+
+
+if __name__ == "__main__":
+    main()
