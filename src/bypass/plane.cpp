@@ -514,6 +514,7 @@ PollPlane::probe(int pf_idx)
     d.skbNode = q.bufNode;
     d.loc = DataLoc::Llc;
     d.fastPath = true;
+    d.probe = true;
     d.completionSem = &done;
     d.sentAt = sim_.now();
     co_await device_.postTx(qid, d);

@@ -93,6 +93,11 @@ Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
         monitor_ =
             std::make_unique<health::HealthMonitor>(plane, cfg_.health);
         monitor_->start();
+        if (cfg_.diffProber) {
+            prober_ = std::make_unique<health::DifferentialProber>(
+                *monitor_, cfg_.prober);
+            prober_->start();
+        }
     }
 }
 

@@ -29,6 +29,7 @@
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
 #include "health/monitor.hpp"
+#include "health/prober.hpp"
 #include "nic/device.hpp"
 #include "nic/wire.hpp"
 #include "os/netstack.hpp"
@@ -101,6 +102,14 @@ struct TestbedConfig
 
     /** Monitor tunables (thresholds, hysteresis, probation backoff). */
     health::HealthConfig health;
+
+    /** Attach a DifferentialProber next to the monitor (requires
+     *  healthMonitor): gray-failure detection by sibling-RTT
+     *  comparison, feeding external demotions into the monitor. */
+    bool diffProber = false;
+
+    /** Prober tunables (cadence, outlier ratio, streak length). */
+    health::ProberConfig prober;
 
     /** Kernel-bypass presets (`local-poll` / `remote-poll` /
      *  `ioctopus-poll`): replace the NetStack on *both* hosts with a
@@ -175,6 +184,9 @@ class Testbed
     /** The server-side health monitor; null unless configured. */
     health::HealthMonitor* monitor() { return monitor_.get(); }
 
+    /** The differential prober; null unless configured. */
+    health::DifferentialProber* prober() { return prober_.get(); }
+
     /**
      * The node the server workload should run on for this preset:
      * the NIC's node for Local, the other one for Remote. For Ioctopus
@@ -230,6 +242,7 @@ class Testbed
     std::unique_ptr<bypass::PollPlane> clientPoll_;
     std::unique_ptr<fault::Injector> injector_;
     std::unique_ptr<health::HealthMonitor> monitor_;
+    std::unique_ptr<health::DifferentialProber> prober_;
 
     std::uint16_t nextPort_ = 2000;
 };

@@ -1,5 +1,7 @@
 #include "fault/injector.hpp"
 
+#include <cstdio>
+
 #include "nic/device.hpp"
 #include "nvme/driver.hpp"
 #include "os/netstack.hpp"
@@ -26,8 +28,143 @@ kindName(FaultKind k)
     case FaultKind::IrqRestore: return "irq_restore";
     case FaultKind::NvmeDoorbellStuck: return "nvme_doorbell_stuck";
     case FaultKind::NvmeCqStall: return "nvme_cq_stall";
+    case FaultKind::PfGrayDelay: return "pf_gray_delay";
+    case FaultKind::PfGrayDrop: return "pf_gray_drop";
+    case FaultKind::PfGrayRestore: return "pf_gray_restore";
     }
     return "unknown";
+}
+
+namespace {
+
+/** Endpoint class an event's `target` indexes into. */
+enum class TargetClass
+{
+    Pf,
+    Queue,
+    NvmeSq,
+    None, // QPI / IRQ events carry no endpoint index.
+};
+
+TargetClass
+targetClass(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::PcieLinkDown:
+    case FaultKind::PcieLinkUp:
+    case FaultKind::PcieWidthDegrade:
+    case FaultKind::PcieRestore:
+    case FaultKind::PfKill:
+    case FaultKind::PfRecover:
+    case FaultKind::PfGrayDelay:
+    case FaultKind::PfGrayDrop:
+    case FaultKind::PfGrayRestore:
+        return TargetClass::Pf;
+    case FaultKind::QueueStall:
+    case FaultKind::QueuePoison:
+        return TargetClass::Queue;
+    case FaultKind::NvmeDoorbellStuck:
+    case FaultKind::NvmeCqStall:
+        return TargetClass::NvmeSq;
+    case FaultKind::QpiDegrade:
+    case FaultKind::QpiRestore:
+    case FaultKind::IrqDelay:
+    case FaultKind::IrqDrop:
+    case FaultKind::IrqRestore:
+        return TargetClass::None;
+    }
+    return TargetClass::None;
+}
+
+std::string
+describe(const FaultEvent& ev)
+{
+    return std::string(kindName(ev.kind)) + "@" +
+           std::to_string(static_cast<long long>(sim::toUs(ev.at))) +
+           "us(target=" + std::to_string(ev.target) + ")";
+}
+
+} // namespace
+
+std::vector<std::string>
+FaultPlan::validate(const TargetSpec& spec) const
+{
+    std::vector<std::string> errors;
+    auto reject = [&](const FaultEvent& ev, const std::string& why) {
+        errors.push_back(describe(ev) + ": " + why);
+    };
+
+    // Walk in replay order so PF lifecycle checks see what the
+    // injector will actually do.
+    std::vector<bool> dead(64, false);
+    for (const FaultEvent& ev : events()) {
+        // Endpoint existence.
+        const TargetClass cls = targetClass(ev.kind);
+        int limit = -1;
+        const char* what = nullptr;
+        switch (cls) {
+        case TargetClass::Pf: limit = spec.pfCount; what = "PF"; break;
+        case TargetClass::Queue:
+            limit = spec.queueCount;
+            what = "queue";
+            break;
+        case TargetClass::NvmeSq:
+            limit = spec.nvmeSqCount;
+            what = "NVMe SQ";
+            break;
+        case TargetClass::None: break;
+        }
+        if (cls != TargetClass::None &&
+            (ev.target < 0 || (limit >= 0 && ev.target >= limit))) {
+            reject(ev, std::string("targets nonexistent ") + what +
+                           " (have " + std::to_string(limit) +
+                           "); fix the target index or the campaign's "
+                           "TargetSpec");
+            continue; // lifecycle tracking on a bogus index is noise
+        }
+
+        // Per-kind parameter domains and PF lifecycle.
+        const std::size_t pf = static_cast<std::size_t>(ev.target);
+        switch (ev.kind) {
+        case FaultKind::PfKill:
+            if (pf < dead.size() && dead[pf])
+                reject(ev, "duplicate kill: PF is already dead; "
+                           "schedule a pfRecover first");
+            if (pf < dead.size())
+                dead[pf] = true;
+            break;
+        case FaultKind::PfRecover:
+            if (pf < dead.size() && !dead[pf])
+                reject(ev, "recover-before-kill: PF was never killed "
+                           "(or already recovered); drop this event or "
+                           "move it after the pfKill");
+            if (pf < dead.size())
+                dead[pf] = false;
+            break;
+        case FaultKind::PfGrayDelay:
+        case FaultKind::PfGrayDrop:
+            if (ev.scale <= 0.0 || ev.scale > 1.0)
+                reject(ev, "gray probability " +
+                               std::to_string(ev.scale) +
+                               " outside (0, 1]");
+            break;
+        case FaultKind::PcieWidthDegrade:
+            if (ev.arg < 1)
+                reject(ev, "retrain width must be >= 1 lane");
+            if (ev.scale <= 0.0 || ev.scale > 1.0)
+                reject(ev, "gen scale " + std::to_string(ev.scale) +
+                               " outside (0, 1]");
+            break;
+        case FaultKind::QpiDegrade:
+            if (ev.scale <= 0.0 || ev.scale > 1.0)
+                reject(ev, "QPI scale " + std::to_string(ev.scale) +
+                               " outside (0, 1]");
+            break;
+        default:
+            break;
+        }
+    }
+    return errors;
 }
 
 FaultPlan
@@ -157,6 +294,20 @@ Injector::start()
 {
     if (started_)
         return;
+    TargetSpec spec;
+    if (targets_.nic != nullptr) {
+        spec.pfCount = targets_.nic->functionCount();
+        spec.queueCount = targets_.nic->queueCount();
+    }
+    if (targets_.nvme != nullptr)
+        spec.nvmeSqCount = targets_.nvme->sqCount();
+    planErrors_ = plan_.validate(spec);
+    if (!planErrors_.empty()) {
+        for (const std::string& e : planErrors_)
+            std::fprintf(stderr, "fault: rejected plan: %s\n",
+                         e.c_str());
+        return;
+    }
     started_ = true;
     task_ = run();
 }
@@ -279,6 +430,25 @@ Injector::apply(const FaultEvent& ev)
     case FaultKind::NvmeCqStall:
         if (targets_.nvme != nullptr)
             targets_.nvme->stallCq(ev.target, ev.duration);
+        else
+            hit = false;
+        break;
+    case FaultKind::PfGrayDelay:
+        if (nic != nullptr)
+            nic->function(ev.target).setGrayDelay(ev.scale,
+                                                  ev.duration);
+        else
+            hit = false;
+        break;
+    case FaultKind::PfGrayDrop:
+        if (nic != nullptr)
+            nic->function(ev.target).setGrayDrop(ev.scale);
+        else
+            hit = false;
+        break;
+    case FaultKind::PfGrayRestore:
+        if (nic != nullptr)
+            nic->function(ev.target).clearGray();
         else
             hit = false;
         break;

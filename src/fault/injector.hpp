@@ -12,6 +12,8 @@
 
 #include <array>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 #include "fault/plan.hpp"
 #include "sim/stats.hpp"
@@ -47,8 +49,19 @@ class Injector
   public:
     Injector(sim::Simulator& sim, Targets targets, FaultPlan plan);
 
-    /** Spawn the replay task (idempotent). */
+    /** Spawn the replay task (idempotent). A plan that fails
+     *  FaultPlan::validate() against the live targets is refused: the
+     *  task never starts, `planErrors()` holds the messages, and
+     *  `done()` stays false so a soak harness fails loudly instead of
+     *  replaying a contradictory schedule. */
     void start();
+
+    /** Validation messages from the last start() attempt (empty when
+     *  the plan was accepted). */
+    const std::vector<std::string>& planErrors() const
+    {
+        return planErrors_;
+    }
 
     /** True once every event has been applied. */
     bool done() const { return done_; }
@@ -74,6 +87,7 @@ class Injector
     sim::Task<> task_;
     bool started_ = false;
     bool done_ = false;
+    std::vector<std::string> planErrors_;
 
     sim::Counter applied_;
     sim::Counter skipped_;

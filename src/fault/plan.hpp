@@ -15,6 +15,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -40,12 +41,28 @@ enum class FaultKind
     IrqRestore,       ///< Clear all interrupt faults.
     NvmeDoorbellStuck, ///< NVMe SQ doorbell writes ignored for a duration.
     NvmeCqStall,       ///< NVMe CQ posting wedged for a duration.
+    PfGrayDelay,       ///< Fraction of a PF's DMAs take an extra latency tail.
+    PfGrayDrop,        ///< Silent sub-threshold completion loss on a PF.
+    PfGrayRestore,     ///< Clear all gray faults on a PF.
 };
 
-constexpr int kFaultKindCount = 15;
+constexpr int kFaultKindCount = 18;
 
 /** Human-readable kind name (logs, CSV columns, test messages). */
 const char* kindName(FaultKind k);
+
+/**
+ * Endpoint population a plan will be replayed against, for schedule
+ * validation. A count of -1 means "unknown": range checks for that
+ * endpoint class are skipped (the matching events may still be
+ * no-op'd by an Injector whose target object is absent).
+ */
+struct TargetSpec
+{
+    int pfCount = -1;
+    int queueCount = -1;
+    int nvmeSqCount = -1;
+};
 
 /** One scheduled fault. Field meaning varies by kind (see builders). */
 struct FaultEvent
@@ -201,6 +218,33 @@ class FaultPlan
         return add({at, FaultKind::NvmeCqStall, sq, 0, 1.0, duration});
     }
 
+    /** Gray latency fault: a fraction @p p of DMAs through PF @p pf
+     *  take an @p extra tail on top of the modeled transfer time. The
+     *  link stays up and `bwFraction()` is untouched, so PF telemetry
+     *  alone never trips the HealthMonitor — only a differential
+     *  prober comparing sibling RTTs can see it. */
+    FaultPlan&
+    pfGrayDelay(sim::Tick at, int pf, double p, sim::Tick extra)
+    {
+        return add({at, FaultKind::PfGrayDelay, pf, 0, p, extra});
+    }
+
+    /** Gray loss fault: a fraction @p p of frames/completions through
+     *  PF @p pf vanish silently — no AER counter, no dead-PF drop
+     *  accounting, no driver event. Sub-threshold by construction. */
+    FaultPlan&
+    pfGrayDrop(sim::Tick at, int pf, double p)
+    {
+        return add({at, FaultKind::PfGrayDrop, pf, 0, p, 0});
+    }
+
+    /** Heal every gray fault on PF @p pf. */
+    FaultPlan&
+    pfGrayRestore(sim::Tick at, int pf)
+    {
+        return add({at, FaultKind::PfGrayRestore, pf, 0, 1.0, 0});
+    }
+
     /**
      * Seed-derived stress schedule: paired fault/recovery events spread
      * over [0, horizon). Every choice comes from the SplitMix64 stream,
@@ -227,6 +271,18 @@ class FaultPlan
     static FaultPlan randomStress(std::uint64_t seed, sim::Tick horizon,
                                   int pf_count, int queue_count,
                                   int episodes = 10);
+
+    /**
+     * Sanity-check the schedule against @p spec: contradictory PF
+     * lifecycles (recover before any kill, duplicate kill on an
+     * already-dead PF), events targeting endpoints that don't exist,
+     * and out-of-domain parameters (gray probability outside (0, 1],
+     * non-positive retrain width, degradation scale outside (0, 1]).
+     * Returns one actionable message per problem; empty means the plan
+     * is replayable. Injector::start() and the chaos campaign builder
+     * both refuse plans that fail this check.
+     */
+    std::vector<std::string> validate(const TargetSpec& spec = {}) const;
 
   private:
     std::vector<FaultEvent> events_;

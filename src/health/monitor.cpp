@@ -51,6 +51,8 @@ HealthMonitor::HealthMonitor(steer::SteerablePlane& plane,
                       [this] { return samples_; });
         reg.counterFn("health_verdicts", l,
                       [this] { return verdicts_; });
+        reg.counterFn("health_external_demotions", l,
+                      [this] { return externalDemotions_; });
         tracePid_ = h->pidFor("health." + plane_name);
         h->tracer().threadName(tracePid_, 0, "verdicts");
     }
@@ -184,6 +186,22 @@ HealthMonitor::run()
     }
 }
 
+void
+HealthMonitor::demoteExternal(int pf)
+{
+    const sim::Tick now = plane_.planeSim().now();
+    if (!scores_.at(pf).externalFault(now))
+        return; // already Failed: nothing new to apply
+    ++externalDemotions_;
+    if (auto* tr = obs::tracer(plane_.planeSim(), obs::kCatHealth)) {
+        tr->instant(obs::kCatHealth, "external_demotion", tracePid_, 0,
+                    now,
+                    {{"endpoint", Endpoint::ofPf(pf).name()},
+                     {"state", stateName(scores_.at(pf).state())}});
+    }
+    applyWeights();
+}
+
 sim::Task<>
 HealthMonitor::runProbe(int pf)
 {
@@ -217,6 +235,33 @@ HealthMonitor::applyWeights()
     const std::vector<double> w = weights();
     plane_.applyPfWeights(w);
 
+    // Last-resort settle: every PF weight is zero — a campaign has
+    // sickened all local paths (both PFs gray-demoted, or dead +
+    // demoted sibling). Freezing targets would pin queues to a dead
+    // endpoint while a less-bad live one exists; flapping between
+    // equally-zero weights would oscillate. Instead settle everything
+    // on one deterministic least-bad *live* PF — link up first, then
+    // highest trained bandwidth fraction, then lowest index — and keep
+    // serving with bounded loss. When no PF has link at all (total
+    // PCIe outage) targets stay frozen: there is nothing to steer to.
+    bool allZero = true;
+    for (double x : w)
+        allZero = allZero && x <= 0.0;
+    int lastResort = -1;
+    if (allZero) {
+        double bestBw = -1.0;
+        for (std::size_t i = 0; i < w.size(); ++i) {
+            const EndpointTelemetry t =
+                plane_.telemetry(Endpoint::ofPf(static_cast<int>(i)));
+            if (!t.linkUp)
+                continue;
+            if (t.bwFraction > bestBw) {
+                bestBw = t.bwFraction;
+                lastResort = static_cast<int>(i);
+            }
+        }
+    }
+
     // Group queues by home PF so keepSlot sees a stable per-group index.
     for (std::size_t pf = 0; pf < w.size(); ++pf) {
         // Strongest alternative endpoint for this group's spillover.
@@ -244,6 +289,8 @@ HealthMonitor::applyWeights()
             // there is nothing better to steer to (total outage).
             if (w[pf] <= 0 && alt >= 0 && w[alt] > 0)
                 target = alt;
+            if (lastResort >= 0)
+                target = lastResort;
             ++slot;
             // Queue-grain override: a sick or administratively drained
             // queue leaves home alone, even when its PF group stays put.
@@ -259,7 +306,9 @@ HealthMonitor::applyWeights()
             if (auto* tr = obs::tracer(plane_.planeSim(),
                                        obs::kCatHealth)) {
                 const char* reason =
-                    adm                ? "admin_drain"
+                    target == lastResort && lastResort >= 0
+                                       ? "last_resort"
+                    : adm              ? "admin_drain"
                     : sick             ? "queue_sick"
                     : target == home_[q] ? "return_home"
                     : w[pf] <= 0       ? "pf_failed"

@@ -51,6 +51,21 @@ class HealthMonitor
 
     const HealthConfig& config() const { return cfg_; }
 
+    /** The judged plane (differential prober sends probes through it). */
+    steer::SteerablePlane& plane() { return plane_; }
+
+    /**
+     * External fault verdict for PF @p pf from a detector outside the
+     * telemetry loop (differential prober, operator tooling): force
+     * the score to Failed — with backoff escalation — and re-apply
+     * weights. Gray failures land here: by construction they never
+     * move bwFraction/AER enough for observe() to act.
+     */
+    void demoteExternal(int pf);
+
+    /** External demotions accepted (score actually moved). */
+    std::uint64_t externalDemotions() const { return externalDemotions_; }
+
     // ------------------------------------------------ PF-grain verdicts
     HealthState state(int pf) const { return scores_.at(pf).state(); }
 
@@ -160,6 +175,7 @@ class HealthMonitor
     std::uint64_t probesSent_ = 0;
     std::uint64_t probesPassed_ = 0;
     std::uint64_t probesFailed_ = 0;
+    std::uint64_t externalDemotions_ = 0;
     int tracePid_ = 0; ///< Trace process for this plane's health lane.
 };
 

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Differential prober: gray-failure detection by sibling comparison.
+ *
+ * Gray faults (PfGrayDelay / PfGrayDrop) are invisible to the
+ * HealthMonitor by construction — link up, bwFraction nominal, no AER
+ * movement. What a gray PF cannot hide is its *round-trip time
+ * relative to its siblings*: the same 64 B probe posted through each
+ * PF of the octoNIC either completes in the same handful of
+ * microseconds, or it doesn't. The prober periodically sends a small
+ * batch of probes through every in-service PF of a plane, keeps a
+ * per-PF RTT EWMA (a swallowed completion runs the probe clock to the
+ * plane's watchdog — a huge sample, which is exactly the signal), and
+ * demotes a PF through HealthMonitor::demoteExternal() when its EWMA
+ * stays above `outlierRatio x best-sibling + margin` (or above the
+ * absolute bound) for `consecutiveRounds` rounds. Recovery then runs
+ * through the monitor's normal Failed → Probation → probe ladder.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "health/monitor.hpp"
+#include "sim/task.hpp"
+#include "sim/time.hpp"
+
+namespace octo::health {
+
+struct ProberConfig
+{
+    /** Gap between probing rounds. */
+    sim::Tick period = sim::fromMs(2);
+    /** Probes per PF per round (averaged into one RTT sample). */
+    int probesPerRound = 4;
+    /** Outlier when ewma > ratio x best sibling + margin ... */
+    double outlierRatio = 3.0;
+    sim::Tick margin = sim::fromUs(20);
+    /** ... or unconditionally above this bound (catches the case
+     *  where *every* sibling is gray and there is no good baseline). */
+    sim::Tick absoluteRtt = sim::fromMs(1);
+    /** Rounds over the line before the demotion fires. */
+    int consecutiveRounds = 2;
+    /** EWMA smoothing factor for new samples. */
+    double ewmaAlpha = 0.4;
+};
+
+class DifferentialProber
+{
+  public:
+    explicit DifferentialProber(HealthMonitor& monitor,
+                                ProberConfig cfg = {});
+
+    /** Spawn the probing task (idempotent). */
+    void start();
+
+    /** Current RTT EWMA for @p pf in microseconds (-1 = no sample). */
+    double rttUs(int pf) const;
+
+    std::uint64_t rounds() const { return rounds_; }
+    std::uint64_t probesSent() const { return probesSent_; }
+    std::uint64_t probesTimedOut() const { return probesTimedOut_; }
+
+    /** Demotion requests issued to the monitor. */
+    std::uint64_t demotions() const { return demotions_; }
+
+  private:
+    sim::Task<> run();
+
+    HealthMonitor& mon_;
+    ProberConfig cfg_;
+    std::vector<double> ewma_;  ///< Per-PF RTT EWMA in ticks (-1 unset).
+    std::vector<int> streak_;   ///< Consecutive outlier rounds per PF.
+    sim::Task<> task_;
+    bool started_ = false;
+    std::uint64_t rounds_ = 0;
+    std::uint64_t probesSent_ = 0;
+    std::uint64_t probesTimedOut_ = 0;
+    std::uint64_t demotions_ = 0;
+    int tracePid_ = 0;
+};
+
+} // namespace octo::health

@@ -267,6 +267,20 @@ class HealthScore
         return fail(now);
     }
 
+    /** External fault verdict (differential prober, operator): the
+     *  path is sick in a way telemetry cannot see, so force Failed
+     *  with the usual backoff escalation. The normal
+     *  Failed→Probation→probe ladder governs recovery. Returns
+     *  verdict-changed. */
+    bool
+    externalFault(sim::Tick now)
+    {
+        if (state_ == HealthState::Failed)
+            return false;
+        probePending_ = false;
+        return fail(now);
+    }
+
   private:
     static double
     relDelta(double a, double b)

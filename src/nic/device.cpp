@@ -159,6 +159,16 @@ NicDevice::rxPath(Frame f)
             sink_->frameLost(f.flow, f.payloadBytes);
         co_return;
     }
+    if (q.pf->grayDropSample()) {
+        // Gray completion loss: the frame vanishes with no AER event,
+        // no dead-PF drop, no per-PF stat — stock telemetry stays
+        // flat. Only the sink's byte accounting learns of it, which is
+        // what the retry path needs to reclaim the window credit.
+        ++grayRxDrops_;
+        if (sink_ != nullptr)
+            sink_->frameLost(f.flow, f.payloadBytes);
+        co_return;
+    }
     if (q.stalledUntil > sim_.now())
         co_await sim::delay(sim_, q.stalledUntil - sim_.now());
     if (!q.rxCredits.tryAcquire()) {
@@ -338,6 +348,13 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
         sim_.schedule(arrival, [peer, f] { peer->acceptFrame(f); });
     }
 
+    if (d.probe && q.pf->grayDropSample()) {
+        // A gray PF swallows the probe's completion: the prober sees a
+        // watchdog timeout (a huge RTT outlier) instead of a wedged
+        // tenant semaphore — probe descriptors hold no window credit.
+        ++grayCqDrops_;
+        co_return;
+    }
     TxCompletion tc;
     tc.desc = d;
     tc.cqeLoc = co_await q.pf->dmaWrite(q.bufNode, 64);

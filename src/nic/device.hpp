@@ -262,6 +262,13 @@ class NicDevice
     /** Tx descriptors aborted (error completion) on a dead PF. */
     std::uint64_t txAborts() const { return txAborts_; }
 
+    /** Ground-truth gray losses (Rx frames / probe completions
+     *  silently swallowed by a gray PF). Test-only visibility: these
+     *  are deliberately not exported as metrics and do not feed the
+     *  per-PF health telemetry. */
+    std::uint64_t grayRxDrops() const { return grayRxDrops_; }
+    std::uint64_t grayCqDrops() const { return grayCqDrops_; }
+
     /** Queue-stall fault events applied. */
     std::uint64_t queueStallEvents() const { return queueStallEvents_; }
 
@@ -339,6 +346,8 @@ class NicDevice
     std::uint64_t rxDrops_ = 0;
     std::uint64_t deadPfDrops_ = 0;
     std::uint64_t txAborts_ = 0;
+    std::uint64_t grayRxDrops_ = 0;
+    std::uint64_t grayCqDrops_ = 0;
     std::uint64_t queueStallEvents_ = 0;
     std::uint64_t queuePoisonEvents_ = 0;
     std::uint64_t pfKills_ = 0;

@@ -50,6 +50,10 @@ struct TxDesc
     /** Released (1 credit) when the Tx completion is processed; lets
      *  closed-loop producers bound their in-flight descriptors. */
     sim::Semaphore* completionSem = nullptr;
+    /** Health-probe descriptor: eligible for gray completion loss, so a
+     *  gray-dropping PF shows up as probe timeouts instead of wedging
+     *  tenant completion semaphores. */
+    bool probe = false;
 };
 
 /** Receive-completion entry: one wire frame landed in host memory. */

@@ -1,6 +1,7 @@
 #include "nvme/driver.hpp"
 
 #include "sim/simulator.hpp"
+#include "steer/steering.hpp"
 
 namespace octo::nvme {
 
@@ -67,8 +68,19 @@ NvmeDriver::read(std::uint64_t bytes, int buf_node, int submit_node)
         co_await sim::delay(sim, sq.doorbellStuckUntil - sim.now());
     // The port is latched at submission: a re-steer mid-IO moves only
     // subsequent submissions, mirroring the NIC's drain-then-rebind.
-    pcie::PciFunction& pf = dev_.port(sq.pf);
+    // Under weighted steering the choice is per-IO: the node's IOs
+    // stripe across both ports in proportion to their health weights —
+    // a degraded-but-alive local port keeps its share instead of being
+    // abandoned wholesale, exactly like the NIC plane's queue spread.
+    const int port_idx =
+        weightedSteering_ && !pfWeights_.empty() ? stripePort(sq)
+                                                 : sq.pf;
+    pcie::PciFunction& pf = dev_.port(port_idx);
     ++sq.inflight;
+    if (sq.portIos.size() <
+        static_cast<std::size_t>(dev_.portCount()))
+        sq.portIos.resize(static_cast<std::size_t>(dev_.portCount()));
+    ++sq.portIos[static_cast<std::size_t>(port_idx)];
     ++sq.ios;
     const Tick start = sim.now();
     const Tick lat = co_await dev_.readVia(pf, bytes, buf_node, sq.node);
@@ -79,6 +91,7 @@ NvmeDriver::read(std::uint64_t bytes, int buf_node, int submit_node)
         co_await sim::delay(sim, sq.cqStallUntil - sim.now());
     sq.bytes += bytes;
     --sq.inflight;
+    ++sq.done;
     if (obE2e_ != nullptr)
         obE2e_->record(sim::toNs(dev_.host().sim().now() - start));
     if (flows_.active()) {
@@ -105,9 +118,41 @@ NvmeDriver::read(std::uint64_t bytes, int buf_node, int submit_node)
                      start, dev_.host().sim().now(),
                      {{"bytes", bytes},
                       {"buf_node", buf_node},
-                      {"port", sq.pf}});
+                      {"port", port_idx}});
     }
     co_return lat;
+}
+
+int
+NvmeDriver::stripePort(const NvmeSq& sq) const
+{
+    // Anchor on the home (node-local) port; the strongest-weighted
+    // other port takes the spillover. keepSlot over a fixed slot ring
+    // (indexed by the SQ's submission count) converges the long-run
+    // split to keepLocalShare's ratio without any per-IO randomness.
+    constexpr int kStripeSlots = 16;
+    const auto local = static_cast<std::size_t>(sq.homePf);
+    if (local >= pfWeights_.size())
+        return sq.pf;
+    int alt = -1;
+    for (std::size_t o = 0; o < pfWeights_.size(); ++o) {
+        if (o == local || pfWeights_[o] <= 0)
+            continue;
+        if (alt < 0 || pfWeights_[o] > pfWeights_[alt])
+            alt = static_cast<int>(o);
+    }
+    const double wl = pfWeights_[local];
+    if (alt < 0)
+        return wl > 0 ? static_cast<int>(local) : sq.pf;
+    if (wl <= 0)
+        return alt;
+    const double share = steer::keepLocalShare(wl, pfWeights_[alt]);
+    const int slot = static_cast<int>(sq.ios %
+                                      static_cast<std::uint64_t>(
+                                          kStripeSlots));
+    return steer::keepSlot(slot, kStripeSlots, share)
+               ? static_cast<int>(local)
+               : alt;
 }
 
 void

@@ -45,10 +45,13 @@ struct NvmeSq
     int homePf = 0; ///< Setup-time binding (the node-local port).
     int inflight = 0;
     std::uint64_t ios = 0;
+    std::uint64_t done = 0; ///< Completed IOs: ios == done + inflight.
     std::uint64_t bytes = 0;
     sim::Tick doorbellStuckUntil = 0; ///< Doorbell-stuck fault deadline.
     sim::Tick cqStallUntil = 0;       ///< CQ-stall fault deadline.
     std::uint64_t stallEvents = 0;    ///< Stall faults applied to this SQ.
+    /** IOs routed through each port (weighted striping visibility). */
+    std::vector<std::uint64_t> portIos;
 };
 
 /**
@@ -70,6 +73,15 @@ class NvmeDriver : public steer::SteerablePlane
 
     /** The SQ serving @p node (SQ 0 when the node has none). */
     int sqForNode(int node) const;
+
+    /** IOs SQ @p id routed through port @p port. */
+    std::uint64_t
+    sqPortIos(int id, int port) const
+    {
+        const auto& v = sqs_.at(id).portIos;
+        const auto p = static_cast<std::size_t>(port);
+        return p < v.size() ? v[p] : 0;
+    }
 
     /**
      * Block read submitted from a core on @p submit_node into a buffer
@@ -143,6 +155,9 @@ class NvmeDriver : public steer::SteerablePlane
 
   private:
     sim::Task<> drainTask(int sq_id);
+
+    /** Weighted-striping port choice for one submission (see read()). */
+    int stripePort(const NvmeSq& sq) const;
 
     NvmeDevice& dev_;
     NvmeDriverConfig cfg_;

@@ -607,6 +607,7 @@ NetStack::probe(int pf_idx)
     d.skbNode = device_.queue(qid).bufNode;
     d.loc = DataLoc::Llc;
     d.fastPath = true;
+    d.probe = true;
     d.completionSem = &done;
     d.sentAt = sim_.now();
     co_await device_.postTx(qid, d);

@@ -17,6 +17,7 @@
 #include "mem/cache.hpp"
 #include "obs/hub.hpp"
 #include "sim/pipe.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "sim/task.hpp"
 #include "topo/machine.hpp"
@@ -123,6 +124,60 @@ class PciFunction
     std::uint64_t linkUpEvents() const { return linkUpEvents_; }
     std::uint64_t degradeEvents() const { return degradeEvents_; }
 
+    // ---------------------------------------------------- gray failures
+    // A gray-failed PF misbehaves without telling anyone: no AER
+    // counter moves, bwFraction() stays nominal, linkUp() stays true.
+    // Health sampling therefore cannot see it — that is the point.
+    // Detection has to come from the outside (differential probing).
+
+    /** A fraction @p p of DMAs through this PF take an @p extra tail
+     *  (marginal retimer, firmware hiccup, congested switch port). */
+    void
+    setGrayDelay(double p, Tick extra)
+    {
+        grayDelayP_ = std::min(1.0, std::max(0.0, p));
+        grayDelayExtra_ = extra;
+    }
+
+    /** A fraction @p p of frames/completions through this PF vanish
+     *  silently. The datapath consults grayDropSample() at the points
+     *  where a loss is survivable (Rx frames, probe completions). */
+    void setGrayDrop(double p)
+    {
+        grayDropP_ = std::min(1.0, std::max(0.0, p));
+    }
+
+    /** Heal all gray behavior. */
+    void
+    clearGray()
+    {
+        grayDelayP_ = 0.0;
+        grayDelayExtra_ = 0;
+        grayDropP_ = 0.0;
+    }
+
+    bool grayFaulted() const
+    {
+        return grayDelayP_ > 0.0 || grayDropP_ > 0.0;
+    }
+    double grayDropP() const { return grayDropP_; }
+
+    /** Bernoulli draw against the gray-drop probability. Counted in a
+     *  hidden (non-telemetry) counter for tests only. */
+    bool
+    grayDropSample()
+    {
+        if (grayDropP_ <= 0.0 || !grayRng_.chance(grayDropP_))
+            return false;
+        ++grayDropsApplied_;
+        return true;
+    }
+
+    /** Ground-truth gray activity, for tests — never exported as a
+     *  metric (that would defeat the gray-ness). */
+    std::uint64_t grayDelaysApplied() const { return grayDelaysApplied_; }
+    std::uint64_t grayDropsApplied() const { return grayDropsApplied_; }
+
     // ------------------------------------------------- health telemetry
     /** Effective bandwidth as a fraction of nominal: (operational
      *  lanes / nominal lanes) x gen-rate fraction. A downed link still
@@ -176,6 +231,8 @@ class PciFunction
     dmaWrite(int mem_node, std::uint64_t bytes)
     {
         const Tick start = host_.sim().now();
+        if (const Tick tail = grayDelaySample())
+            co_await sim::delay(host_.sim(), tail);
         co_await toHost_.transfer(bytes);
         const mem::DataLoc loc =
             host_.llc(mem_node).dmaWriteLocation(node_, mem_node);
@@ -214,6 +271,8 @@ class PciFunction
     dmaRead(int mem_node, std::uint64_t bytes, mem::DataLoc loc)
     {
         const Tick start = host_.sim().now();
+        if (const Tick tail = grayDelaySample())
+            co_await sim::delay(host_.sim(), tail);
         const bool llc_hit = loc == mem::DataLoc::Llc &&
                              mem_node == node_;
         if (llc_hit) {
@@ -259,6 +318,17 @@ class PciFunction
     {
         static int next = 1000;
         return next++;
+    }
+
+    /** Extra tail for this DMA, or 0. Separate from grayDropSample()
+     *  so delay and drop draws don't perturb each other's streams. */
+    Tick
+    grayDelaySample()
+    {
+        if (grayDelayP_ <= 0.0 || !grayRng_.chance(grayDelayP_))
+            return 0;
+        ++grayDelaysApplied_;
+        return grayDelayExtra_;
     }
 
     /**
@@ -348,6 +418,17 @@ class PciFunction
     std::uint64_t degradeEvents_ = 0;
     std::uint64_t correctableErrors_ = 0;
     std::uint64_t uncorrectableErrors_ = 0;
+
+    double grayDelayP_ = 0.0;
+    Tick grayDelayExtra_ = 0;
+    double grayDropP_ = 0.0;
+    std::uint64_t grayDelaysApplied_ = 0;
+    std::uint64_t grayDropsApplied_ = 0;
+    // Seeded from the PF identity, not wall-clock: gray behavior is
+    // deterministic per run like everything else in the model.
+    sim::Rng grayRng_{0xC0FFEEull ^
+                      (static_cast<std::uint64_t>(id_) << 8) ^
+                      static_cast<std::uint64_t>(node_)};
 
     obs::Counter* obLocal_ = nullptr;
     obs::Counter* obRemote_ = nullptr;

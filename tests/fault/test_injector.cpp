@@ -123,5 +123,23 @@ TEST(Injector, AbsentTargetsCountAsSkipped)
     EXPECT_EQ(inj.skipped(), 3u);
 }
 
+TEST(Injector, RefusesInvalidPlanAndStaysInert)
+{
+    Testbed tb(ioctopusCfg());
+    FaultPlan plan;
+    // Duplicate kill, plus a PF index the 2-PF octoNIC doesn't have.
+    plan.pfKill(fromMs(1), 0).pfKill(fromMs(2), 0).pfKill(fromMs(3), 7);
+    Injector inj(tb.sim(), {&tb.serverNic(), nullptr, nullptr}, plan);
+    inj.start();
+
+    ASSERT_EQ(inj.planErrors().size(), 2u);
+    tb.runFor(fromMs(5));
+    // The replay task never started: nothing applied, PF 0 alive, and
+    // done() stays false so a harness notices the refusal.
+    EXPECT_EQ(inj.applied(), 0u);
+    EXPECT_FALSE(inj.done());
+    EXPECT_TRUE(tb.serverNic().function(0).linkUp());
+}
+
 } // namespace
 } // namespace octo::fault

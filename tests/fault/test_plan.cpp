@@ -94,6 +94,120 @@ TEST(FaultPlan, RandomizedStaysInsideHorizonAndTargets)
     }
 }
 
+// ------------------------------------------------------------ validate()
+
+namespace {
+
+bool
+hasError(const std::vector<std::string>& errs, const char* needle)
+{
+    for (const std::string& e : errs) {
+        if (e.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(FaultPlanValidate, AcceptsWellFormedSchedules)
+{
+    FaultPlan plan;
+    plan.pfKill(fromMs(1), 0)
+        .pfRecover(fromMs(5), 0)
+        .pfKill(fromMs(6), 0) // killing again after recovery is fine
+        .pfRecover(fromMs(8), 0)
+        .pfGrayDelay(fromMs(2), 1, 0.5, fromUs(300))
+        .pfGrayRestore(fromMs(7), 1)
+        .queueStall(fromMs(3), 3, fromUs(50));
+    EXPECT_TRUE(plan.validate({2, 4, -1}).empty());
+}
+
+TEST(FaultPlanValidate, RejectsRecoverBeforeKill)
+{
+    FaultPlan plan;
+    plan.pfRecover(fromMs(2), 0).pfKill(fromMs(5), 0);
+    const auto errs = plan.validate();
+    ASSERT_EQ(errs.size(), 1u);
+    EXPECT_TRUE(hasError(errs, "recover-before-kill"));
+}
+
+TEST(FaultPlanValidate, RejectsDuplicateKill)
+{
+    FaultPlan plan;
+    plan.pfKill(fromMs(1), 1).pfKill(fromMs(2), 1).pfRecover(fromMs(3),
+                                                             1);
+    const auto errs = plan.validate();
+    ASSERT_EQ(errs.size(), 1u);
+    EXPECT_TRUE(hasError(errs, "duplicate kill"));
+}
+
+TEST(FaultPlanValidate, ValidationWalksScheduleOrderNotInsertionOrder)
+{
+    // Authored backwards, but the schedule is kill@1ms, recover@2ms —
+    // valid. The walker must sort first, like the injector replays.
+    FaultPlan plan;
+    plan.pfRecover(fromMs(2), 0).pfKill(fromMs(1), 0);
+    EXPECT_TRUE(plan.validate().empty());
+}
+
+TEST(FaultPlanValidate, RejectsNonexistentTargets)
+{
+    FaultPlan plan;
+    plan.pfKill(fromMs(1), 5)
+        .queueStall(fromMs(2), 9, fromUs(10))
+        .nvmeDoorbellStuck(fromMs(3), 4, fromUs(10))
+        .pfRecover(fromMs(4), -1);
+    const auto errs = plan.validate({2, 8, 2});
+    ASSERT_EQ(errs.size(), 4u);
+    EXPECT_TRUE(hasError(errs, "nonexistent PF"));
+    EXPECT_TRUE(hasError(errs, "nonexistent queue"));
+    EXPECT_TRUE(hasError(errs, "nonexistent NVMe SQ"));
+}
+
+TEST(FaultPlanValidate, UnknownPopulationSkipsRangeChecksOnly)
+{
+    // Default spec: counts unknown (-1) — range checks are skipped,
+    // but a negative index is always nonsense.
+    FaultPlan plan;
+    plan.pfKill(fromMs(1), 63).pfRecover(fromMs(2), 63);
+    EXPECT_TRUE(plan.validate().empty());
+
+    FaultPlan neg;
+    neg.queueStall(fromMs(1), -2, fromUs(10));
+    EXPECT_TRUE(hasError(neg.validate(), "nonexistent queue"));
+}
+
+TEST(FaultPlanValidate, RejectsOutOfDomainParameters)
+{
+    FaultPlan plan;
+    plan.pfGrayDelay(fromMs(1), 0, 1.5, fromUs(100))
+        .pfGrayDrop(fromMs(2), 0, 0.0)
+        .pcieWidthDegrade(fromMs(3), 0, 0)
+        .qpiDegrade(fromMs(4), 2.0);
+    const auto errs = plan.validate({2, -1, -1});
+    ASSERT_EQ(errs.size(), 4u);
+    EXPECT_TRUE(hasError(errs, "gray probability"));
+    EXPECT_TRUE(hasError(errs, "retrain width"));
+    EXPECT_TRUE(hasError(errs, "QPI scale"));
+}
+
+TEST(FaultPlanValidate, RandomizedPlansAlwaysValidate)
+{
+    // The generators slice the horizon per episode precisely so that
+    // kill/recover pairs never interleave — pin that contract.
+    for (std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull}) {
+        EXPECT_TRUE(FaultPlan::randomized(seed, fromMs(50), 2, 8)
+                        .validate({2, 8, -1})
+                        .empty())
+            << "seed " << seed;
+        EXPECT_TRUE(FaultPlan::randomStress(seed, fromMs(50), 2, 8)
+                        .validate({2, 8, -1})
+                        .empty())
+            << "seed " << seed;
+    }
+}
+
 TEST(FaultPlan, KindNamesAreUniqueAndNonNull)
 {
     for (int i = 0; i < kFaultKindCount; ++i) {

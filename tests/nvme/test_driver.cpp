@@ -182,5 +182,111 @@ TEST(NvmeDriver, FioThroughDriverStaysLocal)
     EXPECT_GT(drv.sq(1).ios, 100u);
 }
 
+// ---------------------------------------------------------------------
+// Weighted port striping: a degraded-but-alive local port keeps its
+// health-weighted share of the node's IOs instead of being abandoned
+// wholesale — the NVMe mirror of the NIC plane's queue spread.
+// ---------------------------------------------------------------------
+TEST(NvmeDriver, WeightedStripingSplitsIosByHealthWeight)
+{
+    sim::Simulator sim;
+    topo::Calibration cal;
+    topo::Machine m(sim, cal);
+    NvmeDevice ssd(m, 0, 8, "ssd");
+    ssd.addSecondPort(1, 8);
+    NvmeDriver drv(ssd);
+    drv.addSq(0);
+    drv.addSq(1);
+    drv.setWeightedSteering(true);
+    // Local port at quarter health: keepLocalShare(0.25, 1.0) = 0.25,
+    // so exactly 4 of every 16 slots stay home.
+    drv.applyPfWeights({0.25, 1.0});
+
+    constexpr int kIos = 320; // 20 full slot rings
+    auto t = sim::spawn([&]() -> sim::Task<> {
+        for (int i = 0; i < kIos; ++i)
+            co_await drv.read(16u << 10, 0, 0);
+    });
+    sim.run();
+
+    ASSERT_EQ(drv.sq(0).ios, static_cast<std::uint64_t>(kIos));
+    EXPECT_EQ(drv.sqPortIos(0, 0), kIos / 4)
+        << "local port lost its weighted quarter share";
+    EXPECT_EQ(drv.sqPortIos(0, 1), kIos - kIos / 4);
+    // Command balance held through the split.
+    EXPECT_EQ(drv.sq(0).done, static_cast<std::uint64_t>(kIos));
+    EXPECT_EQ(drv.sq(0).inflight, 0);
+}
+
+TEST(NvmeDriver, WeightedStripingDegeneratesAtTheExtremes)
+{
+    sim::Simulator sim;
+    topo::Calibration cal;
+    topo::Machine m(sim, cal);
+    NvmeDevice ssd(m, 0, 8, "ssd");
+    ssd.addSecondPort(1, 8);
+    NvmeDriver drv(ssd);
+    drv.addSq(0);
+    drv.addSq(1);
+    drv.setWeightedSteering(true);
+
+    auto t = sim::spawn([&]() -> sim::Task<> {
+        // Equal health: everything stays on the home port.
+        drv.applyPfWeights({1.0, 1.0});
+        for (int i = 0; i < 32; ++i)
+            co_await drv.read(4u << 10, 0, 0);
+        EXPECT_EQ(drv.sqPortIos(0, 0), 32u);
+        EXPECT_EQ(drv.sqPortIos(0, 1), 0u);
+        // Local port dead: everything moves to the alternate.
+        drv.applyPfWeights({0.0, 1.0});
+        for (int i = 0; i < 32; ++i)
+            co_await drv.read(4u << 10, 0, 0);
+        EXPECT_EQ(drv.sqPortIos(0, 0), 32u);
+        EXPECT_EQ(drv.sqPortIos(0, 1), 32u);
+    });
+    sim.run();
+}
+
+TEST(NvmeDriver, MonitorWeightsDriveTheStripeUnderDegradation)
+{
+    sim::Simulator sim;
+    topo::Calibration cal;
+    topo::Machine m(sim, cal);
+    NvmeDevice ssd(m, 0, 8, "ssd");
+    ssd.addSecondPort(1, 8);
+    NvmeDriver drv(ssd);
+    drv.addSq(0);
+    drv.addSq(1);
+    health::HealthMonitor mon(drv);
+    mon.start();
+
+    sim.schedule(fromMs(10), [&] { ssd.port(0).degradeWidth(2); });
+
+    std::uint64_t local_before = 0, remote_before = 0;
+    auto t = sim::spawn([&]() -> sim::Task<> {
+        // Before the retrain: node 0's IOs all run the local port.
+        for (int i = 0; i < 64; ++i)
+            co_await drv.read(16u << 10, 0, 0);
+        local_before = drv.sqPortIos(0, 0);
+        remote_before = drv.sqPortIos(0, 1);
+        // Wait out the monitor's verdict on the x2 retrain, then issue
+        // another batch: the stripe must now send *some but not all*
+        // IOs across — degraded-but-alive keeps a share.
+        co_await sim::delay(sim, fromMs(20));
+        for (int i = 0; i < 64; ++i)
+            co_await drv.read(16u << 10, 0, 0);
+    });
+    sim.run();
+
+    EXPECT_EQ(local_before, 64u);
+    EXPECT_EQ(remote_before, 0u);
+    const std::uint64_t local_after = drv.sqPortIos(0, 0) - local_before;
+    const std::uint64_t remote_after = drv.sqPortIos(0, 1);
+    EXPECT_GT(remote_after, 0u)
+        << "degraded port kept everything: weights never applied";
+    EXPECT_GT(local_after, 0u)
+        << "degraded-but-alive port abandoned instead of down-weighted";
+}
+
 } // namespace
 } // namespace octo::nvme
