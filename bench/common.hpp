@@ -218,6 +218,45 @@ class ObsSession
                 });
             }
         }
+        // Opt-in (OCTO_SAMPLE_SIM=1): event-core throughput per
+        // scheduling domain. Off by default so the standard report
+        // stays byte-comparable against goldens.
+        if (std::getenv("OCTO_SAMPLE_SIM") != nullptr) {
+            sim::Simulator* sp = &tb.sim();
+            s.watchRate(
+                "sim_events_per_s",
+                [sp] { return sp->eventsProcessed(); },
+                obs::SampleUnit::PerSec);
+            // Probes filter the live domain list at sample time, so
+            // domains registered mid-run (lazy IRQ events) are counted
+            // from their first event on.
+            for (int n = 0; n < m->nodes(); ++n) {
+                s.watchRate(
+                    "sim_events_per_s[node" + std::to_string(n) + "]",
+                    [sp, n] {
+                        std::uint64_t total = 0;
+                        const auto& ds = sp->domains();
+                        for (std::size_t i = 0; i < ds.size(); ++i) {
+                            if (ds[i].node == n)
+                                total += sp->domainEvents(i);
+                        }
+                        return total;
+                    },
+                    obs::SampleUnit::PerSec);
+            }
+            s.watchRate(
+                "sim_events_per_s[dev]",
+                [sp] {
+                    std::uint64_t total = 0;
+                    const auto& ds = sp->domains();
+                    for (std::size_t i = 0; i < ds.size(); ++i) {
+                        if (ds[i].device >= 0)
+                            total += sp->domainEvents(i);
+                    }
+                    return total;
+                },
+                obs::SampleUnit::PerSec);
+        }
         s.start();
         return &s;
     }

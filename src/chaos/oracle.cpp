@@ -207,8 +207,11 @@ Oracle::start()
     if (started_)
         return;
     started_ = true;
-    task_ = run();
+    tick_ = sim_.schedulePeriodic(cfg_.period, cfg_.period,
+                                  [this] { sweep(); });
 }
+
+Oracle::~Oracle() { sim_.release(tick_); }
 
 int
 Oracle::sweep()
@@ -242,15 +245,6 @@ Oracle::report(const Entry& e, const std::string& snapshot)
                  e.name.c_str(), sim::toMs(sim_.now()),
                  snapshot.c_str());
     std::abort();
-}
-
-sim::Task<>
-Oracle::run()
-{
-    for (;;) {
-        co_await sim::delay(sim_, cfg_.period);
-        sweep();
-    }
 }
 
 } // namespace octo::chaos

@@ -85,6 +85,7 @@ class Oracle
     using Check = std::function<std::string()>;
 
     explicit Oracle(sim::Simulator& sim, OracleConfig cfg = {});
+    ~Oracle();
 
     /** Register invariant @p name. Checks run in registration order. */
     void addInvariant(std::string name, Check check);
@@ -139,14 +140,13 @@ class Oracle
         Check check;
     };
 
-    sim::Task<> run();
     void report(const Entry& e, const std::string& snapshot);
 
     sim::Simulator& sim_;
     OracleConfig cfg_;
     std::vector<Entry> entries_;
     std::vector<Violation> log_;
-    sim::Task<> task_;
+    sim::EventRef tick_; ///< Periodic sweep cadence (one slot).
     bool started_ = false;
     std::uint64_t checks_ = 0;
     std::uint64_t violations_ = 0;

@@ -41,8 +41,22 @@ Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
 
     // Attach the observability hub before any component exists:
     // instruments are registered (and pointers cached) at construction.
-    if (cfg_.hub != nullptr)
+    if (cfg_.hub != nullptr) {
         sim_.setHub(cfg_.hub);
+        // Event-core health counters (DESIGN.md §11): negative-delay
+        // clamps surface model bugs, pool growths / cold callbacks
+        // surface allocation on what should be the zero-alloc path.
+        obs::MetricRegistry& reg = cfg_.hub->metrics();
+        sim::Simulator* sp = &sim_;
+        reg.counterFn("sim_events_total", {},
+                      [sp] { return sp->eventsProcessed(); });
+        reg.counterFn("sim_negative_delay_total", {},
+                      [sp] { return sp->negativeDelays(); });
+        reg.counterFn("sim_pool_growths_total", {},
+                      [sp] { return sp->poolGrowths(); });
+        reg.counterFn("sim_cold_callbacks_total", {},
+                      [sp] { return sp->coldCallbacks(); });
+    }
 
     // A fault plan implies frames can die inside the NIC, so the
     // RTO-style retry worker must run on both hosts or lost frames

@@ -66,7 +66,13 @@ HealthMonitor::start()
     started_ = true;
     plane_.setWeightedSteering(true);
     plane_.applyPfWeights(weights());
-    task_ = run();
+    tick_ = plane_.planeSim().schedulePeriodic(
+        cfg_.samplePeriod, cfg_.samplePeriod, [this] { sampleTick(); });
+}
+
+HealthMonitor::~HealthMonitor()
+{
+    plane_.planeSim().release(tick_);
 }
 
 std::vector<double>
@@ -111,12 +117,11 @@ HealthMonitor::undrain(const steer::Endpoint& ep)
     applyWeights();
 }
 
-sim::Task<>
-HealthMonitor::run()
+void
+HealthMonitor::sampleTick()
 {
     sim::Simulator& sim = plane_.planeSim();
-    for (;;) {
-        co_await sim::delay(sim, cfg_.samplePeriod);
+    {
         bool changed = false;
         for (std::size_t i = 0; i < scores_.size(); ++i) {
             const EndpointTelemetry t =

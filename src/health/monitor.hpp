@@ -45,6 +45,7 @@ class HealthMonitor
   public:
     explicit HealthMonitor(steer::SteerablePlane& plane,
                            HealthConfig cfg = {});
+    ~HealthMonitor();
 
     /** Spawn the sampling task (idempotent). */
     void start();
@@ -138,7 +139,7 @@ class HealthMonitor
     std::vector<double> weights() const;
 
   private:
-    sim::Task<> run();
+    void sampleTick();
     sim::Task<> runProbe(int pf);
     void applyWeights();
 
@@ -168,7 +169,7 @@ class HealthMonitor
     std::vector<char> pfDrained_;
     std::vector<char> qDrained_;
     std::vector<char> probing_; ///< A probe is in flight for this PF.
-    sim::Task<> task_;
+    sim::EventRef tick_; ///< Periodic sampling cadence (one slot).
     bool started_ = false;
     std::uint64_t samples_ = 0;
     std::uint64_t verdicts_ = 0;

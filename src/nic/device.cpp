@@ -7,6 +7,7 @@ namespace octo::nic {
 
 NicDevice::NicDevice(topo::Machine& host, std::string name)
     : host_(host), name_(std::move(name)), sim_(host.sim()),
+      devId_(host.sim().allocDeviceId()),
       flows_(obs::hub(host.sim()), name_)
 {
     if (obs::Hub* h = obs::hub(sim_)) {
@@ -23,7 +24,22 @@ NicDevice::NicDevice(topo::Machine& host, std::string name)
     }
 }
 
-NicDevice::~NicDevice() = default;
+NicDevice::~NicDevice()
+{
+    for (auto& q : queues_) {
+        sim_.release(q->rxIrqEv);
+        sim_.release(q->txIrqEv);
+    }
+}
+
+/** Domain tag for events this device schedules on behalf of @p q. */
+sim::Domain
+NicDevice::irqDomain(const NicQueue& q) const
+{
+    return sim::Domain{
+        static_cast<std::int8_t>(q.irqCore->node()),
+        static_cast<std::int8_t>(devId_ < 15 ? devId_ : -1)};
+}
 
 pcie::PciFunction&
 NicDevice::addFunction(int node, int lanes)
@@ -126,13 +142,6 @@ NicDevice::classify(const FiveTuple& flow) const
     }
     assert(nd && !nd->qids.empty());
     return nd->qids[flow.hash() % nd->qids.size()];
-}
-
-Task<>
-NicDevice::postTx(int qid, TxDesc desc)
-{
-    NicQueue& q = *queues_.at(qid);
-    co_await q.txRing.push(desc);
 }
 
 void
@@ -345,7 +354,11 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
         f.lastOfMessage = d.lastOfMessage && left == 0;
         const Tick arrival = tx_wire.reserve(cal.wireBytes(chunk));
         ++q.txFrames;
-        sim_.schedule(arrival, [peer, f] { peer->acceptFrame(f); });
+        sim_.schedule(
+            arrival,
+            sim::Domain{-1, static_cast<std::int8_t>(
+                                devId_ < 15 ? devId_ : -1)},
+            [peer, f] { peer->acceptFrame(f); });
     }
 
     if (d.probe && q.pf->grayDropSample()) {
@@ -383,10 +396,14 @@ NicDevice::maybeRaiseRxIrq(NicQueue& q)
     if (!q.rxIrqArmed || sink_ == nullptr)
         return;
     q.rxIrqArmed = false;
-    const int qid = q.id;
-    NicSink* sink = sink_;
-    sim_.scheduleIn(irqLatencyFor(q) + rxCoalesce_,
-                    [sink, qid] { sink->rxReady(qid); });
+    // The armed flag guarantees at most one outstanding raise per
+    // queue, so a single pre-allocated event per direction suffices
+    // (DESIGN.md §11); re-raising is a zero-setup re-arm.
+    if (!q.rxIrqEv.valid()) {
+        q.rxIrqEv = sim_.makeEvent(
+            [this, &q] { sink_->rxReady(q.id); }, irqDomain(q));
+    }
+    sim_.scheduleIn(irqLatencyFor(q) + rxCoalesce_, q.rxIrqEv);
 }
 
 void
@@ -395,9 +412,11 @@ NicDevice::maybeRaiseTxIrq(NicQueue& q)
     if (!q.txIrqArmed || sink_ == nullptr)
         return;
     q.txIrqArmed = false;
-    const int qid = q.id;
-    NicSink* sink = sink_;
-    sim_.scheduleIn(irqLatencyFor(q), [sink, qid] { sink->txReady(qid); });
+    if (!q.txIrqEv.valid()) {
+        q.txIrqEv = sim_.makeEvent(
+            [this, &q] { sink_->txReady(q.id); }, irqDomain(q));
+    }
+    sim_.scheduleIn(irqLatencyFor(q), q.txIrqEv);
 }
 
 void

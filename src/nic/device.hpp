@@ -100,6 +100,9 @@ struct NicQueue
     sim::Semaphore rxCredits;
     bool rxIrqArmed = true;
     bool txIrqArmed = true;
+    sim::EventRef rxIrqEv; ///< Pre-allocated IRQ events: the armed
+    sim::EventRef txIrqEv; ///< flags guarantee one outstanding raise,
+                           ///< so each re-arm is a zero-setup schedule.
     bool polled = false; ///< Bypass mode: never raise interrupts; a
                          ///< busy-poll port harvests both CQs directly.
     std::uint64_t rxFrames = 0;
@@ -237,9 +240,16 @@ class NicDevice
     // -------------------------------------------------------- data path
     /**
      * Host posts a Tx descriptor; suspends while the ring is full.
-     * The doorbell MMIO cost is charged by the caller.
+     * The doorbell MMIO cost is charged by the caller. Hands back the
+     * Tx ring's push awaiter directly, so the per-segment path spends
+     * no intermediate coroutine frame; wakeup order through the ring
+     * is the channel's own FIFO either way.
      */
-    Task<> postTx(int qid, TxDesc desc);
+    sim::Channel<TxDesc>::PushAwaiter
+    postTx(int qid, TxDesc desc)
+    {
+        return queues_.at(qid)->txRing.push(std::move(desc));
+    }
 
     /** Frame arriving from the wire (called by the peer device). */
     void acceptFrame(const Frame& f);
@@ -324,10 +334,12 @@ class NicDevice
     void maybeRaiseRxIrq(NicQueue& q);
     void maybeRaiseTxIrq(NicQueue& q);
     Tick irqLatencyFor(const NicQueue& q) const;
+    sim::Domain irqDomain(const NicQueue& q) const;
 
     topo::Machine& host_;
     std::string name_;
     sim::Simulator& sim_;
+    int devId_ = -1; ///< Small id for Domain{node, device} tagging.
 
     std::vector<std::unique_ptr<pcie::PciFunction>> pfs_;
     std::vector<PfFaultStats> pfStats_;

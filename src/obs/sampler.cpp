@@ -176,8 +176,14 @@ Sampler::start()
         s.unit = w.unit;
         data_->series.push_back(std::move(s));
     }
-    loop_ = run();
+    // Drift-free cadence on a single pooled slot; replaces the old
+    // delay-loop coroutine (one parked frame per sampler).
+    sim_.release(tick_);
+    tick_ = sim_.schedulePeriodic(period_, period_,
+                                  [this] { sampleOnce(sim_.now()); });
 }
+
+Sampler::~Sampler() { sim_.release(tick_); }
 
 void
 Sampler::sampleOnce(sim::Tick now)
@@ -205,15 +211,6 @@ Sampler::sampleOnce(sim::Tick now)
             tr->counter(kCatCounter, w.name.c_str(), pid_, now, value);
     }
     ++samples_;
-}
-
-sim::Task<>
-Sampler::run()
-{
-    for (;;) {
-        co_await sim::delay(sim_, period_);
-        sampleOnce(sim_.now());
-    }
 }
 
 } // namespace octo::obs

@@ -117,6 +117,7 @@ class Sampler
 
     Sampler(const Sampler&) = delete;
     Sampler& operator=(const Sampler&) = delete;
+    ~Sampler();
 
     /** Watch a cumulative counter; exported as a per-window rate. */
     void watchRate(std::string name, Probe probe,
@@ -142,7 +143,6 @@ class Sampler
         std::uint64_t prev = 0;
     };
 
-    sim::Task<> run();
     void sampleOnce(sim::Tick now);
 
     sim::Simulator& sim_;
@@ -154,7 +154,7 @@ class Sampler
     std::vector<Watch> watches_;
     RunData* data_ = nullptr;
     std::size_t samples_ = 0;
-    sim::Task<> loop_;
+    sim::EventRef tick_; ///< Periodic sampling cadence (one slot).
 };
 
 } // namespace octo::obs

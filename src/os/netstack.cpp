@@ -71,7 +71,9 @@ NetStack::~NetStack() = default;
 void
 NetStack::mapCoreToQueue(int core_id, int qid)
 {
-    xps_[core_id] = qid;
+    if (core_id >= static_cast<int>(xps_.size()))
+        xps_.resize(static_cast<std::size_t>(core_id) + 1, -1);
+    xps_[static_cast<std::size_t>(core_id)] = qid;
 }
 
 void
@@ -84,14 +86,18 @@ NetStack::mapCoreToQueueInDomain(int core_id, int domain, int qid)
 int
 NetStack::xpsLookup(int core_id, int domain) const
 {
-    if (domain >= 0) {
+    if (domain >= 0) [[unlikely]] {
         auto it = xpsDomain_.find(
             (static_cast<std::int64_t>(domain) << 32) | core_id);
         if (it != xpsDomain_.end())
             return it->second;
     }
-    auto it = xps_.find(core_id);
-    return it != xps_.end() ? it->second : 0;
+    if (core_id < static_cast<int>(xps_.size())) {
+        const int qid = xps_[static_cast<std::size_t>(core_id)];
+        if (qid >= 0)
+            return qid;
+    }
+    return 0;
 }
 
 int
@@ -314,8 +320,10 @@ NetStack::recv(ThreadCtx& t, Socket& sock, std::uint64_t bytes)
         // buffer; the sender's credit returns after one wire flight.
         if (sock.peer != nullptr) {
             Socket* peer = sock.peer;
-            sim_.scheduleIn(cal.wireLatency + fromNs(500),
-                            [peer, take] { peer->txWindow.release(take); });
+            sim_.scheduleIn(
+                cal.wireLatency + fromNs(500),
+                sim::Domain{static_cast<std::int8_t>(t.node()), -1},
+                [peer, take] { peer->txWindow.release(take); });
         }
     }
     held->mutex().release();

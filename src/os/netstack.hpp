@@ -325,7 +325,8 @@ class NetStack : public nic::NicSink, public steer::SteerablePlane
     StackConfig cfg_;
     sim::Simulator& sim_;
 
-    std::unordered_map<int, int> xps_;
+    std::vector<int> xps_; ///< core id -> qid (-1 unmapped), dense:
+                           ///< this sits on the per-segment Tx path.
     std::unordered_map<std::int64_t, int> xpsDomain_; ///< (domain,core)
     std::unordered_map<int, int> qidDomain_;
     std::unordered_map<nic::FiveTuple, Socket*> demux_;

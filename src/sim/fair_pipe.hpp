@@ -54,30 +54,39 @@ class FairPipe
         return transferTime(backlogBytes_, gbps_);
     }
 
+    class TransferAwaiter
+    {
+      public:
+        TransferAwaiter(FairPipe& p, int cls, std::uint64_t bytes)
+            : p_(p), cls_(cls), bytes_(bytes)
+        {
+        }
+
+        bool await_ready() const { return bytes_ == 0; }
+
+        template <typename P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            p_.enqueue(cls_, bytes_, h, detail::detachedFlag(h));
+        }
+
+        void await_resume() const {}
+
+      private:
+        FairPipe& p_;
+        int cls_;
+        std::uint64_t bytes_;
+    };
+
     /**
      * Transfer @p bytes on behalf of requester class @p cls; suspends
      * until the last quantum has been served.
      */
-    auto
+    TransferAwaiter
     transfer(int cls, std::uint64_t bytes)
     {
-        struct Awaiter
-        {
-            FairPipe& p;
-            int cls;
-            std::uint64_t bytes;
-
-            bool await_ready() const { return bytes == 0; }
-
-            void
-            await_suspend(std::coroutine_handle<> h)
-            {
-                p.enqueue(cls, bytes, h);
-            }
-
-            void await_resume() const {}
-        };
-        return Awaiter{*this, cls, bytes};
+        return TransferAwaiter{*this, cls, bytes};
     }
 
   private:
@@ -85,15 +94,17 @@ class FairPipe
     {
         std::uint64_t remaining;
         std::coroutine_handle<> h;
+        const bool* det;
     };
 
     void
-    enqueue(int cls, std::uint64_t bytes, std::coroutine_handle<> h)
+    enqueue(int cls, std::uint64_t bytes, std::coroutine_handle<> h,
+            const bool* det)
     {
         auto& q = queues_[cls];
         if (q.empty())
             rr_.push_back(cls);
-        q.push_back(Req{bytes, h});
+        q.push_back(Req{bytes, h, det});
         backlogBytes_ += bytes;
         if (!serving_) {
             serving_ = true;
@@ -118,7 +129,7 @@ class FairPipe
             backlogBytes_ -= quantum;
             r.remaining -= quantum;
             if (r.remaining == 0) {
-                sim_.scheduleResume(0, r.h);
+                sim_.scheduleResume(0, r.h, r.det);
                 q.pop_front();
             }
             if (!q.empty())

@@ -6,6 +6,11 @@
  * All wakeups are funnelled through the simulator's event queue at the
  * current tick rather than resumed inline, so that same-tick processes
  * interleave deterministically and stack depth stays bounded.
+ *
+ * Waiters record the suspending coroutine's detached-flag address
+ * (detail::detachedFlag) alongside the handle; wakeup events carry it
+ * into the simulator's slot pool so teardown can reclaim parked frames
+ * nobody owns (see ~Simulator).
  */
 #pragma once
 
@@ -17,6 +22,7 @@
 #include <utility>
 
 #include "sim/simulator.hpp"
+#include "sim/task.hpp"
 #include "sim/time.hpp"
 
 namespace octo::sim {
@@ -77,80 +83,95 @@ class Channel
         return v;
     }
 
+    class PushAwaiter
+    {
+      public:
+        PushAwaiter(Channel& ch, T v) : ch_(ch), value_(std::move(v)) {}
+
+        bool
+        await_ready()
+        {
+            // Only move the value out once success is guaranteed.
+            if (ch_.popWaiters_.empty() &&
+                ch_.buf_.size() >= ch_.capacity_) {
+                return false;
+            }
+            ch_.tryPush(std::move(value_));
+            return true;
+        }
+
+        template <typename P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            ch_.pushWaiters_.push_back(PushWaiter{
+                h, detail::detachedFlag(h), std::move(value_)});
+        }
+
+        void await_resume() const {}
+
+      private:
+        Channel& ch_;
+        T value_;
+    };
+
+    class PopAwaiter
+    {
+      public:
+        explicit PopAwaiter(Channel& ch) : ch_(ch) {}
+
+        bool
+        await_ready()
+        {
+            slot_ = ch_.tryPop();
+            return slot_.has_value();
+        }
+
+        template <typename P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            ch_.popWaiters_.push_back(
+                PopWaiter{h, detail::detachedFlag(h), &slot_});
+        }
+
+        T
+        await_resume()
+        {
+            return std::move(*slot_);
+        }
+
+      private:
+        Channel& ch_;
+        std::optional<T> slot_;
+    };
+
     /** Awaitable push: suspends while the channel is full. */
-    auto
+    PushAwaiter
     push(T v)
     {
-        struct Awaiter
-        {
-            Channel& ch;
-            T value;
-
-            bool
-            await_ready()
-            {
-                // Only move the value out once success is guaranteed.
-                if (ch.popWaiters_.empty() &&
-                    ch.buf_.size() >= ch.capacity_) {
-                    return false;
-                }
-                ch.tryPush(std::move(value));
-                return true;
-            }
-
-            void
-            await_suspend(std::coroutine_handle<> h)
-            {
-                ch.pushWaiters_.push_back(
-                    PushWaiter{h, std::move(value)});
-            }
-
-            void await_resume() const {}
-        };
-        return Awaiter{*this, std::move(v)};
+        return PushAwaiter{*this, std::move(v)};
     }
 
     /** Awaitable pop: suspends while the channel is empty. */
-    auto
+    PopAwaiter
     pop()
     {
-        struct Awaiter
-        {
-            Channel& ch;
-            std::optional<T> slot;
-
-            bool
-            await_ready()
-            {
-                slot = ch.tryPop();
-                return slot.has_value();
-            }
-
-            void
-            await_suspend(std::coroutine_handle<> h)
-            {
-                ch.popWaiters_.push_back(PopWaiter{h, &slot});
-            }
-
-            T
-            await_resume()
-            {
-                return std::move(*slot);
-            }
-        };
-        return Awaiter{*this, std::nullopt};
+        return PopAwaiter{*this};
     }
 
   private:
     struct PushWaiter
     {
         std::coroutine_handle<> h;
+        const bool* det;
         T value;
     };
 
     struct PopWaiter
     {
         std::coroutine_handle<> h;
+        const bool* det;
         std::optional<T>* slot;
     };
 
@@ -161,7 +182,7 @@ class Channel
         PopWaiter w = popWaiters_.front();
         popWaiters_.pop_front();
         w.slot->emplace(std::move(v));
-        sim_.scheduleResume(0, w.h);
+        sim_.scheduleResume(0, w.h, w.det);
     }
 
     /** A buffer slot freed up: admit the oldest waiting producer. */
@@ -173,7 +194,7 @@ class Channel
         PushWaiter w = std::move(pushWaiters_.front());
         pushWaiters_.pop_front();
         buf_.push_back(std::move(w.value));
-        sim_.scheduleResume(0, w.h);
+        sim_.scheduleResume(0, w.h, w.det);
     }
 
     Simulator& sim_;
@@ -209,7 +230,7 @@ class Semaphore
             Waiter w = waiters_.front();
             waiters_.pop_front();
             count_ -= w.need;
-            sim_.scheduleResume(0, w.h);
+            sim_.scheduleResume(0, w.h, w.det);
         }
     }
 
@@ -225,40 +246,51 @@ class Semaphore
         return false;
     }
 
+    class AcquireAwaiter
+    {
+      public:
+        AcquireAwaiter(Semaphore& s, std::int64_t need)
+            : s_(s), need_(need)
+        {
+        }
+
+        bool
+        await_ready() const
+        {
+            if (s_.count_ >= need_ && s_.waiters_.empty()) {
+                s_.count_ -= need_;
+                return true;
+            }
+            return false;
+        }
+
+        template <typename P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            s_.waiters_.push_back(
+                Waiter{h, detail::detachedFlag(h), need_});
+        }
+
+        void await_resume() const {}
+
+      private:
+        Semaphore& s_;
+        std::int64_t need_;
+    };
+
     /** Awaitable acquire of @p n credits. */
-    auto
+    AcquireAwaiter
     acquire(std::int64_t n = 1)
     {
-        struct Awaiter
-        {
-            Semaphore& s;
-            std::int64_t need;
-
-            bool
-            await_ready() const
-            {
-                if (s.count_ >= need && s.waiters_.empty()) {
-                    s.count_ -= need;
-                    return true;
-                }
-                return false;
-            }
-
-            void
-            await_suspend(std::coroutine_handle<> h)
-            {
-                s.waiters_.push_back(Waiter{h, need});
-            }
-
-            void await_resume() const {}
-        };
-        return Awaiter{*this, n};
+        return AcquireAwaiter{*this, n};
     }
 
   private:
     struct Waiter
     {
         std::coroutine_handle<> h;
+        const bool* det;
         std::int64_t need;
     };
 
@@ -284,31 +316,46 @@ class Signal
     void
     notify()
     {
-        for (auto h : waiters_)
-            sim_.scheduleResume(0, h);
+        for (const Waiter& w : waiters_)
+            sim_.scheduleResume(0, w.h, w.det);
         waiters_.clear();
     }
 
-    auto
+    class WaitAwaiter
+    {
+      public:
+        explicit WaitAwaiter(Signal& s) : s_(s) {}
+
+        bool await_ready() const { return false; }
+
+        template <typename P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            s_.waiters_.push_back(Waiter{h, detail::detachedFlag(h)});
+        }
+
+        void await_resume() const {}
+
+      private:
+        Signal& s_;
+    };
+
+    WaitAwaiter
     wait()
     {
-        struct Awaiter
-        {
-            Signal& s;
-            bool await_ready() const { return false; }
-            void
-            await_suspend(std::coroutine_handle<> h)
-            {
-                s.waiters_.push_back(h);
-            }
-            void await_resume() const {}
-        };
-        return Awaiter{*this};
+        return WaitAwaiter{*this};
     }
 
   private:
+    struct Waiter
+    {
+        std::coroutine_handle<> h;
+        const bool* det;
+    };
+
     Simulator& sim_;
-    std::deque<std::coroutine_handle<>> waiters_;
+    std::deque<Waiter> waiters_;
 };
 
 /**
@@ -331,32 +378,47 @@ class Gate
         if (open_)
             return;
         open_ = true;
-        for (auto h : waiters_)
-            sim_.scheduleResume(0, h);
+        for (const Waiter& w : waiters_)
+            sim_.scheduleResume(0, w.h, w.det);
         waiters_.clear();
     }
 
-    auto
+    class WaitAwaiter
+    {
+      public:
+        explicit WaitAwaiter(Gate& g) : g_(g) {}
+
+        bool await_ready() const { return g_.open_; }
+
+        template <typename P>
+        void
+        await_suspend(std::coroutine_handle<P> h)
+        {
+            g_.waiters_.push_back(Waiter{h, detail::detachedFlag(h)});
+        }
+
+        void await_resume() const {}
+
+      private:
+        Gate& g_;
+    };
+
+    WaitAwaiter
     wait()
     {
-        struct Awaiter
-        {
-            Gate& g;
-            bool await_ready() const { return g.open_; }
-            void
-            await_suspend(std::coroutine_handle<> h)
-            {
-                g.waiters_.push_back(h);
-            }
-            void await_resume() const {}
-        };
-        return Awaiter{*this};
+        return WaitAwaiter{*this};
     }
 
   private:
+    struct Waiter
+    {
+        std::coroutine_handle<> h;
+        const bool* det;
+    };
+
     Simulator& sim_;
     bool open_ = false;
-    std::deque<std::coroutine_handle<>> waiters_;
+    std::deque<Waiter> waiters_;
 };
 
 } // namespace octo::sim

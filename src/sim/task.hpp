@@ -20,8 +20,11 @@
 
 #include <cassert>
 #include <coroutine>
+#include <cstddef>
 #include <exception>
+#include <new>
 #include <optional>
+#include <type_traits>
 #include <utility>
 
 #include "sim/simulator.hpp"
@@ -31,13 +34,100 @@ namespace octo::sim {
 
 namespace detail {
 
+/**
+ * Size-classed free-list allocator for coroutine frames.
+ *
+ * Per-packet processes (NIC rxPath/txProcess, PCIe DMA transactions)
+ * create and destroy a coroutine frame each; routing those through
+ * malloc dominated the profile alongside the old event queue. Frames
+ * recycle through 64-byte size classes instead — steady-state frame
+ * allocation touches no global allocator. Memory is retained for the
+ * process lifetime (freelists keep it reachable, so leak checkers stay
+ * quiet). Single-threaded by design, like the simulator itself.
+ */
+class FramePool
+{
+  public:
+    static constexpr std::size_t kClassShift = 6; // 64-byte classes
+    static constexpr std::size_t kClasses = 64;   // pool up to 4 KiB
+
+    static FramePool&
+    instance()
+    {
+        static FramePool pool;
+        return pool;
+    }
+
+    void*
+    alloc(std::size_t n)
+    {
+        const std::size_t cls =
+            (n + (std::size_t{1} << kClassShift) - 1) >> kClassShift;
+        if (cls >= kClasses)
+            return ::operator new(n);
+        if (free_[cls] != nullptr) {
+            void* p = free_[cls];
+            free_[cls] = *static_cast<void**>(p);
+            return p;
+        }
+        return ::operator new(cls << kClassShift);
+    }
+
+    void
+    release(void* p, std::size_t n)
+    {
+        const std::size_t cls =
+            (n + (std::size_t{1} << kClassShift) - 1) >> kClassShift;
+        if (cls >= kClasses) {
+            ::operator delete(p);
+            return;
+        }
+        *static_cast<void**>(p) = free_[cls];
+        free_[cls] = p;
+    }
+
+  private:
+    void* free_[kClasses] = {};
+};
+
 /** State shared by all Task promises, independent of the result type. */
 struct PromiseBase
 {
     std::coroutine_handle<> continuation{};
     bool done = false;
     bool detached = false;
+
+    // Coroutine frames come from the pooled allocator. Only the sized
+    // form is declared so the compiler must emit it, giving the pool
+    // its size class back on free.
+    static void*
+    operator new(std::size_t n)
+    {
+        return FramePool::instance().alloc(n);
+    }
+
+    static void
+    operator delete(void* p, std::size_t n)
+    {
+        FramePool::instance().release(p, n);
+    }
 };
+
+/**
+ * The promise's `detached` flag address when the suspending coroutine
+ * is a Task (stable for the frame's lifetime), else nullptr. Timer and
+ * sync-wakeup events record it so ~Simulator can reclaim parked frames
+ * nobody owns (see the teardown notes there).
+ */
+template <typename P>
+const bool*
+detachedFlag(std::coroutine_handle<P> h)
+{
+    if constexpr (std::is_base_of_v<PromiseBase, P>)
+        return &h.promise().detached;
+    else
+        return nullptr;
+}
 
 /**
  * Final awaiter: transfers control to the awaiting coroutine (if any)
@@ -286,10 +376,11 @@ struct Delay
 
     bool await_ready() const noexcept { return false; }
 
+    template <typename P>
     void
-    await_suspend(std::coroutine_handle<> h) const
+    await_suspend(std::coroutine_handle<P> h) const
     {
-        sim.scheduleResume(d, h);
+        sim.scheduleResume(d, h, detail::detachedFlag(h));
     }
 
     void await_resume() const noexcept {}

@@ -43,6 +43,7 @@ class TimeSeries
 
     TimeSeries(const TimeSeries&) = delete;
     TimeSeries& operator=(const TimeSeries&) = delete;
+    ~TimeSeries() { sim_.release(tick_); }
 
     /** Register a probe; call before start(). */
     void
@@ -61,7 +62,9 @@ class TimeSeries
         for (std::size_t i = 0; i < probes_.size(); ++i)
             prev_[i] = probes_[i]();
         startAt_ = sim_.now();
-        loop_ = run();
+        sim_.release(tick_);
+        tick_ = sim_.schedulePeriodic(period_, period_,
+                                      [this] { sampleOnce(); });
     }
 
     std::size_t sampleCount() const { return samples_.size(); }
@@ -130,19 +133,16 @@ class TimeSeries
     }
 
   private:
-    Task<>
-    run()
+    void
+    sampleOnce()
     {
-        for (;;) {
-            co_await delay(sim_, period_);
-            std::vector<std::uint64_t> row(probes_.size());
-            for (std::size_t i = 0; i < probes_.size(); ++i) {
-                const std::uint64_t v = probes_[i]();
-                row[i] = v - prev_[i];
-                prev_[i] = v;
-            }
-            samples_.push_back(std::move(row));
+        std::vector<std::uint64_t> row(probes_.size());
+        for (std::size_t i = 0; i < probes_.size(); ++i) {
+            const std::uint64_t v = probes_[i]();
+            row[i] = v - prev_[i];
+            prev_[i] = v;
         }
+        samples_.push_back(std::move(row));
     }
 
     Simulator& sim_;
@@ -153,7 +153,7 @@ class TimeSeries
     std::vector<std::uint64_t> prev_;
     std::vector<std::vector<std::uint64_t>> samples_;
     Tick startAt_ = 0;
-    Task<> loop_;
+    EventRef tick_; ///< Periodic sampling cadence (one slot).
 };
 
 } // namespace octo::sim

@@ -81,13 +81,41 @@ TEST(Simulator, NestedScheduling)
     EXPECT_EQ(sim.now(), 99);
 }
 
-TEST(Simulator, NegativeDelayClampsToNow)
+TEST(Simulator, NegativeDelayClampsToNowAndIsCounted)
 {
     Simulator sim;
+    // A negative delay is a model bug: debug builds assert unless the
+    // test opts in, and every clamp is counted for the
+    // sim_negative_delay_total metric.
+    sim.allowNegativeDelay(true);
+    bool fired = false;
     sim.schedule(10, [&] {
-        sim.scheduleIn(-5, [&] { EXPECT_EQ(sim.now(), 10); });
+        sim.scheduleIn(-5, [&] {
+            fired = true;
+            EXPECT_EQ(sim.now(), 10);
+        });
     });
     sim.run();
+    EXPECT_TRUE(fired);
+    EXPECT_EQ(sim.negativeDelays(), 1u);
+}
+
+TEST(Simulator, RunUntilNeverRewindsTheClock)
+{
+    Simulator sim;
+    sim.runUntil(100);
+    EXPECT_EQ(sim.now(), 100);
+    // A stale (smaller) bound must not drag time backwards...
+    sim.runUntil(40);
+    EXPECT_EQ(sim.now(), 100);
+    // ...and scheduling afterwards still respects when >= now.
+    Tick seen = -1;
+    sim.scheduleIn(5, [&] { seen = sim.now(); });
+    sim.runUntil(60); // still behind now_: fires nothing new
+    EXPECT_EQ(seen, -1);
+    sim.runUntil(200);
+    EXPECT_EQ(seen, 105);
+    EXPECT_EQ(sim.now(), 200);
 }
 
 TEST(Simulator, CountsProcessedEvents)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Golden-report equivalence check for the event-core refactor.
+
+Runs a bench binary in a scratch directory with sampling enabled and
+compares the ``report.json`` it writes byte-for-byte against the golden
+copy captured from the seed (priority-queue) event core. The simulator
+is a deterministic DES — same seed, same event order, same formatted
+output — so any byte difference means the timer wheel changed model
+behaviour, not just performance.
+
+Usage:
+    python3 tools/check_golden.py <bench-binary> <report-name> \
+        <golden-file> [KEY=VALUE ...]
+
+Example:
+    python3 tools/check_golden.py build/bench/bench_fig06_tcp_rx \
+        fig06_report.json tests/golden/fig06_report.json
+    python3 tools/check_golden.py build/bench/bench_chaos_soak \
+        chaos_soak_report.json tests/golden/chaos_soak_report.json \
+        OCTO_CHAOS_QUICK=1
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main(argv):
+    if len(argv) < 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    bench = os.path.abspath(argv[1])
+    report_name = argv[2]
+    golden_path = os.path.abspath(argv[3])
+    env = dict(os.environ)
+    for kv in argv[4:]:
+        key, _, value = kv.partition("=")
+        env[key] = value
+
+    with tempfile.TemporaryDirectory(prefix="octo_golden_") as tmp:
+        proc = subprocess.run(
+            [bench, "--sample-us", "1000"],
+            cwd=tmp,
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.STDOUT,
+            check=False,
+        )
+        if proc.returncode != 0:
+            print(f"FAIL: {bench} exited {proc.returncode}",
+                  file=sys.stderr)
+            return 1
+        produced = os.path.join(tmp, report_name)
+        if not os.path.exists(produced):
+            print(f"FAIL: {bench} wrote no {report_name}",
+                  file=sys.stderr)
+            return 1
+        with open(produced, "rb") as f:
+            got = f.read()
+    with open(golden_path, "rb") as f:
+        want = f.read()
+
+    if got != want:
+        print(f"FAIL: {report_name} differs from golden "
+              f"{golden_path} ({len(got)} vs {len(want)} bytes)",
+              file=sys.stderr)
+        # Locate the first differing byte for a usable error message.
+        n = min(len(got), len(want))
+        for i in range(n):
+            if got[i] != want[i]:
+                lo = max(0, i - 60)
+                print(f"first difference at byte {i}:", file=sys.stderr)
+                print(f"  got:    ...{got[lo:i + 60]!r}",
+                      file=sys.stderr)
+                print(f"  golden: ...{want[lo:i + 60]!r}",
+                      file=sys.stderr)
+                break
+        return 1
+    print(f"ok: {report_name} is byte-identical to {golden_path} "
+          f"({len(got)} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
