@@ -218,6 +218,30 @@ class ObsSession
                 });
             }
         }
+        // Opt-in (OCTO_SAMPLE_FLOWS=1): flow-attribution sketch tracks —
+        // resident rows (gauge) and eviction rate per device. Off by
+        // default so the standard report stays byte-comparable against
+        // goldens generated before these tracks existed.
+        if (std::getenv("OCTO_SAMPLE_FLOWS") != nullptr) {
+            const obs::DmaAccountant* acc = &nic->flows();
+            s.watchGauge("flow_rows[nic]", [acc] {
+                return static_cast<double>(acc->flowCount());
+            });
+            s.watchRate(
+                "flow_evictions_per_s[nic]",
+                [acc] { return acc->evictions(); },
+                obs::SampleUnit::PerSec);
+            if (bypass::PollPlane* pl = tb.serverPoll()) {
+                const obs::DmaAccountant* pacc = &pl->flows();
+                s.watchGauge("flow_rows[poll]", [pacc] {
+                    return static_cast<double>(pacc->flowCount());
+                });
+                s.watchRate(
+                    "flow_evictions_per_s[poll]",
+                    [pacc] { return pacc->evictions(); },
+                    obs::SampleUnit::PerSec);
+            }
+        }
         // Opt-in (OCTO_SAMPLE_SIM=1): event-core throughput per
         // scheduling domain. Off by default so the standard report
         // stays byte-comparable against goldens.

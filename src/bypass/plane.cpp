@@ -20,7 +20,9 @@ constexpr int kE2eTid = 999;
 // ------------------------------------------------------------- PollPort
 
 PollPort::PollPort(PollPlane& plane, int idx, topo::Core& core, int qid)
-    : plane_(plane), idx_(idx), qid_(qid), core_(core)
+    : plane_(plane), idx_(idx), qid_(qid), core_(core),
+      rxFrames_(core.sim()), rxBytes_(core.sim()),
+      txFrames_(core.sim()), txBytes_(core.sim())
 {
 }
 
@@ -90,11 +92,24 @@ PollPort::rxBurst(RxPacket* out, int max)
     core_.mutex().release();
 
     q.rxReaped += n;
-    rxFrames_ += n;
-    rxBytes_ += bytes;
+    rxFrames_.add(static_cast<std::uint64_t>(n));
+    rxBytes_.add(bytes);
 
     // Observation only below this line: no awaits, no model writes.
     const Tick now = pl.sim_.now();
+    if (pl.flows_.active()) {
+        // Attribute harvested payloads at delivery grain: locality is
+        // the queue's PF vs the buffer node, DDIO outcome is the
+        // payload residency the device's write left behind.
+        for (int i = 0; i < n; ++i) {
+            const nic::Frame& f = out[i].frame;
+            pl.flows_.record(
+                f.flow.hash(),
+                [&f] { return nic::NicDevice::flowLabel(f.flow); },
+                f.payloadBytes, q.pf->node() == out[i].node,
+                out[i].loc == DataLoc::Llc);
+        }
+    }
     if (pl.obRxBurst_ != nullptr)
         pl.obRxBurst_->record(n);
     if (pl.obOccupancy_ != nullptr)
@@ -150,8 +165,8 @@ PollPort::txBurst(const nic::FiveTuple& flow, std::uint32_t bytes,
     core_.addBusy(pl.sim_.now() - t0);
     core_.mutex().release();
 
-    txFrames_ += count;
-    txBytes_ += static_cast<std::uint64_t>(count) * bytes;
+    txFrames_.add(static_cast<std::uint64_t>(count));
+    txBytes_.add(static_cast<std::uint64_t>(count) * bytes);
     if (pl.obTxBurst_ != nullptr)
         pl.obTxBurst_->record(count);
     if (auto* tr = obs::tracer(pl.sim_, obs::kCatQueue)) {
@@ -189,8 +204,8 @@ PollPort::txMessage(const nic::FiveTuple& flow, std::uint32_t bytes,
     core_.addBusy(pl.sim_.now() - t0);
     core_.mutex().release();
 
-    ++txFrames_;
-    txBytes_ += bytes;
+    txFrames_.add();
+    txBytes_.add(bytes);
     if (pl.obTxBurst_ != nullptr)
         pl.obTxBurst_->record(1);
 }
@@ -242,7 +257,8 @@ PollPort::freePacket(const RxPacket& p)
 PollPlane::PollPlane(topo::Machine& machine, nic::NicDevice& device,
                      BypassConfig cfg)
     : machine_(machine), device_(device), cfg_(cfg), sim_(machine.sim()),
-      pool_(machine.sim(), device.name() + ".pool")
+      pool_(machine.sim(), device.name() + ".pool"),
+      flows_(obs::hub(machine.sim()), device.name() + ".poll")
 {
     device_.setSink(this);
     if (obs::Hub* h = obs::hub(sim_)) {
@@ -292,9 +308,9 @@ PollPlane::addPort(topo::Core& core, int qid)
                                {"queue", std::to_string(qid)}};
         PollPort* p = ports_.back().get();
         h->metrics().counterFn("bypass_rx_frames", l,
-                               [p] { return p->rxFrames_; });
+                               [p] { return p->rxFrames_.total(); });
         h->metrics().counterFn("bypass_tx_frames", l,
-                               [p] { return p->txFrames_; });
+                               [p] { return p->txFrames_.total(); });
         h->metrics().counterFn("bypass_empty_polls", l,
                                [p] { return p->emptyPolls_; });
         h->tracer().threadName(tracePid_, qid,
@@ -321,7 +337,7 @@ PollPlane::rxBytesTotal() const
 {
     std::uint64_t s = 0;
     for (const auto& p : ports_)
-        s += p->rxBytes_;
+        s += p->rxBytes_.total();
     return s;
 }
 
@@ -330,7 +346,7 @@ PollPlane::txBytesTotal() const
 {
     std::uint64_t s = 0;
     for (const auto& p : ports_)
-        s += p->txBytes_;
+        s += p->txBytes_.total();
     return s;
 }
 
@@ -339,7 +355,7 @@ PollPlane::rxFramesTotal() const
 {
     std::uint64_t s = 0;
     for (const auto& p : ports_)
-        s += p->rxFrames_;
+        s += p->rxFrames_.total();
     return s;
 }
 
@@ -348,7 +364,7 @@ PollPlane::txFramesTotal() const
 {
     std::uint64_t s = 0;
     for (const auto& p : ports_)
-        s += p->txFrames_;
+        s += p->txFrames_.total();
     return s;
 }
 

@@ -37,6 +37,8 @@
 
 #include "bypass/mempool.hpp"
 #include "nic/device.hpp"
+#include "obs/dma.hpp"
+#include "obs/sharded.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
 #include "steer/plane.hpp"
@@ -125,10 +127,10 @@ class PollPort
     // ------------------------------------------------------- statistics
     std::uint64_t polls() const { return polls_; }
     std::uint64_t emptyPolls() const { return emptyPolls_; }
-    std::uint64_t rxFrames() const { return rxFrames_; }
-    std::uint64_t rxBytes() const { return rxBytes_; }
-    std::uint64_t txFrames() const { return txFrames_; }
-    std::uint64_t txBytes() const { return txBytes_; }
+    std::uint64_t rxFrames() const { return rxFrames_.total(); }
+    std::uint64_t rxBytes() const { return rxBytes_.total(); }
+    std::uint64_t txFrames() const { return txFrames_.total(); }
+    std::uint64_t txBytes() const { return txBytes_.total(); }
     std::uint64_t txReaped() const { return txReaped_; }
 
     /** Ring refills deferred because the pool was dry. */
@@ -153,10 +155,12 @@ class PollPort
     std::uint64_t pendingRefill_ = 0;
     std::uint64_t polls_ = 0;
     std::uint64_t emptyPolls_ = 0;
-    std::uint64_t rxFrames_ = 0;
-    std::uint64_t rxBytes_ = 0;
-    std::uint64_t txFrames_ = 0;
-    std::uint64_t txBytes_ = 0;
+    // Burst-hot frame/byte counters shard per domain node
+    // (obs::ShardedCounter); readers fold the exact total.
+    obs::ShardedCounter rxFrames_;
+    obs::ShardedCounter rxBytes_;
+    obs::ShardedCounter txFrames_;
+    obs::ShardedCounter txBytes_;
     std::uint64_t txReaped_ = 0;
 };
 
@@ -192,6 +196,10 @@ class PollPlane : public nic::NicSink, public steer::SteerablePlane
     Mempool& mempool() { return pool_; }
     nic::NicDevice& device() { return device_; }
     const BypassConfig& config() const { return cfg_; }
+
+    /** Delivery-grain flow attribution for harvested Rx traffic
+     *  (bounded top-K sketch; rows keyed dev="<nic>.poll"). */
+    const obs::DmaAccountant& flows() const { return flows_; }
 
     // ------------------------------------------------------- aggregates
     std::uint64_t rxBytesTotal() const;
@@ -260,6 +268,8 @@ class PollPlane : public nic::NicSink, public steer::SteerablePlane
     std::uint64_t watchdogFires_ = 0;
     std::uint64_t lostFrames_ = 0;
     std::uint64_t lostBytes_ = 0;
+
+    obs::DmaAccountant flows_; ///< Flow-grain harvest attribution.
 
     obs::Histogram* obRxBurst_ = nullptr;
     obs::Histogram* obTxBurst_ = nullptr;

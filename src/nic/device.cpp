@@ -63,9 +63,9 @@ NicDevice::addQueue(topo::Core& irq_core, pcie::PciFunction& pf,
                                {"queue", std::to_string(qid)}};
         NicQueue* q = queues_.back().get();
         h->metrics().counterFn("nic_rx_frames", l,
-                               [q] { return q->rxFrames; });
+                               [q] { return q->rxFrames.total(); });
         h->metrics().counterFn("nic_tx_frames", l,
-                               [q] { return q->txFrames; });
+                               [q] { return q->txFrames.total(); });
         h->tracer().threadName(tracePid_, qid,
                                "q" + std::to_string(qid));
     }
@@ -187,18 +187,27 @@ NicDevice::rxPath(Frame f)
     RxCompletion c;
     c.frame = f;
     c.bufNode = q.bufNode;
+    // Each write is attributed the moment it completes — the same
+    // resumption chain as the PF's own recordDma — so flow-grain and
+    // PF-grain rows agree exactly even when a run horizon lands
+    // between the payload and CQE writes.
     c.dataLoc = co_await q.pf->dmaWrite(q.bufNode, f.payloadBytes);
-    c.cqeLoc = co_await q.pf->dmaWrite(q.bufNode, 64);
     if (flows_.active()) {
-        // Payload + CQE share destination node and hence locality/DDIO
-        // outcome — one attribution row covers both writes.
         flows_.record(f.flow.hash(),
                       [&f] { return flowLabel(f.flow); },
-                      f.payloadBytes + 64,
-                      q.pf->node() == q.bufNode,
-                      c.dataLoc == mem::DataLoc::Llc);
+                      f.payloadBytes, q.pf->node() == q.bufNode,
+                      c.dataLoc == mem::DataLoc::Llc,
+                      tenantOf_ ? tenantOf_(f.flow) : -1);
     }
-    ++q.rxFrames;
+    c.cqeLoc = co_await q.pf->dmaWrite(q.bufNode, 64);
+    if (flows_.active()) {
+        flows_.record(f.flow.hash(),
+                      [&f] { return flowLabel(f.flow); }, 64,
+                      q.pf->node() == q.bufNode,
+                      c.cqeLoc == mem::DataLoc::Llc,
+                      tenantOf_ ? tenantOf_(f.flow) : -1);
+    }
+    q.rxFrames.add();
     q.rxCq.tryPush(c); // capacity == ring credits: cannot fail
     maybeRaiseRxIrq(q);
 }
@@ -314,7 +323,8 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
         flows_.record(d.flow.hash(),
                       [&d] { return flowLabel(d.flow); },
                       main_bytes + 64, local,
-                      d.loc == mem::DataLoc::Llc && local);
+                      d.loc == mem::DataLoc::Llc && local,
+                      tenantOf_ ? tenantOf_(d.flow) : -1);
     }
     if (d.spanBytes > 0) {
         // Cross-node fragment: with IOctoSG the driver's hint routes the
@@ -331,7 +341,8 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
             flows_.record(d.flow.hash(),
                           [&d] { return flowLabel(d.flow); },
                           d.spanBytes, local,
-                          d.loc == mem::DataLoc::Llc && local);
+                          d.loc == mem::DataLoc::Llc && local,
+                          tenantOf_ ? tenantOf_(d.flow) : -1);
         }
     }
 
@@ -353,7 +364,7 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
         f.sentAt = d.sentAt;
         f.lastOfMessage = d.lastOfMessage && left == 0;
         const Tick arrival = tx_wire.reserve(cal.wireBytes(chunk));
-        ++q.txFrames;
+        q.txFrames.add();
         sim_.schedule(
             arrival,
             sim::Domain{-1, static_cast<std::int8_t>(
@@ -375,7 +386,8 @@ NicDevice::txProcess(NicQueue& q, TxDesc d)
         flows_.record(d.flow.hash(),
                       [&d] { return flowLabel(d.flow); }, 64,
                       q.pf->node() == q.bufNode,
-                      tc.cqeLoc == mem::DataLoc::Llc);
+                      tc.cqeLoc == mem::DataLoc::Llc,
+                      tenantOf_ ? tenantOf_(d.flow) : -1);
     }
     q.txCq.tryPush(tc);
     maybeRaiseTxIrq(q);

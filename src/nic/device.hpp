@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -33,6 +34,7 @@
 #include "nic/packet.hpp"
 #include "nic/wire.hpp"
 #include "obs/dma.hpp"
+#include "obs/sharded.hpp"
 #include "pcie/function.hpp"
 #include "sim/sync.hpp"
 #include "sim/task.hpp"
@@ -79,7 +81,7 @@ struct NicQueue
         : id(id_), irqCore(irq_core), pf(pf_), homePf(pf_),
           bufNode(irq_core->node()), rxCq(sim, ring_entries),
           txRing(sim, ring_entries), txCq(sim, 4 * ring_entries),
-          rxCredits(sim, ring_entries)
+          rxCredits(sim, ring_entries), rxFrames(sim), txFrames(sim)
     {
     }
 
@@ -105,8 +107,8 @@ struct NicQueue
                            ///< so each re-arm is a zero-setup schedule.
     bool polled = false; ///< Bypass mode: never raise interrupts; a
                          ///< busy-poll port harvests both CQs directly.
-    std::uint64_t rxFrames = 0;
-    std::uint64_t txFrames = 0;
+    obs::ShardedCounter rxFrames; ///< Sharded per domain node; read via
+    obs::ShardedCounter txFrames; ///< total() (exact fold).
     std::uint64_t rxReaped = 0; ///< Completions processed by softirq.
 };
 
@@ -237,6 +239,18 @@ class NicDevice
     /** "1.2.3.4:80>5.6.7.8:90" label for a flow (trace/metric rows). */
     static std::string flowLabel(const FiveTuple& f);
 
+    /** Flow-grain DMA attribution (bounded top-K sketch; read-only). */
+    const obs::DmaAccountant& flows() const { return flows_; }
+
+    /** Map flows to tenant ids for exact tenant_dma_* rollup rows; a
+     *  negative return (or no classifier) skips the rollup. Consulted
+     *  only when attribution is active. */
+    void
+    setTenantClassifier(std::function<int(const FiveTuple&)> fn)
+    {
+        tenantOf_ = std::move(fn);
+    }
+
     // -------------------------------------------------------- data path
     /**
      * Host posts a Tx descriptor; suspends while the ring is full.
@@ -366,6 +380,7 @@ class NicDevice
     std::uint64_t pfRecoveries_ = 0;
 
     obs::DmaAccountant flows_; ///< Flow-grain DMA attribution.
+    std::function<int(const FiveTuple&)> tenantOf_;
     int tracePid_ = 0;
 };
 

@@ -91,6 +91,9 @@ class NvmeDriver : public steer::SteerablePlane
     sim::Task<sim::Tick> read(std::uint64_t bytes, int buf_node,
                               int submit_node);
 
+    /** Per-SQ DMA attribution (bounded top-K sketch; read-only). */
+    const obs::DmaAccountant& flows() const { return flows_; }
+
     // --------------------------------- steer::SteerablePlane interface
     const char* planeName() const override { return "nvme"; }
     sim::Simulator& planeSim() override { return dev_.host().sim(); }

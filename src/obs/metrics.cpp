@@ -88,9 +88,8 @@ MetricRegistry::key(const std::string& name, const Labels& l)
     return k;
 }
 
-MetricRegistry::Entry&
-MetricRegistry::entry(const std::string& name, Labels labels,
-                      MetricKind kind)
+Labels
+MetricRegistry::stamped(Labels labels) const
 {
     for (const auto& b : base_) {
         const bool present =
@@ -99,7 +98,14 @@ MetricRegistry::entry(const std::string& name, Labels labels,
         if (!present)
             labels.push_back(b);
     }
-    labels = canonical(std::move(labels));
+    return canonical(std::move(labels));
+}
+
+MetricRegistry::Entry&
+MetricRegistry::entry(const std::string& name, Labels labels,
+                      MetricKind kind)
+{
+    labels = stamped(std::move(labels));
     const std::string k = key(name, labels);
     auto it = entries_.find(k);
     if (it == entries_.end()) {
@@ -159,6 +165,17 @@ Histogram&
 MetricRegistry::histogram(const std::string& name, Labels labels)
 {
     return *entry(name, std::move(labels), MetricKind::Histogram).h;
+}
+
+bool
+MetricRegistry::removeCounter(const std::string& name, Labels labels)
+{
+    const std::string k = key(name, stamped(std::move(labels)));
+    auto it = entries_.find(k);
+    if (it == entries_.end() || it->second.kind != MetricKind::Counter)
+        return false;
+    entries_.erase(it);
+    return true;
 }
 
 const MetricRegistry::Entry*

@@ -144,6 +144,18 @@ class MetricRegistry
                    std::function<double()> fn);
     Histogram& histogram(const std::string& name, Labels labels = {});
 
+    /**
+     * Remove the counter (name, labels) from the registry. Base labels
+     * are stamped exactly as at registration, so a call site that
+     * created a row under the current run label can drop it the same
+     * way. Pointers to the removed instrument are invalidated — only
+     * owners that manage the full row lifecycle (DmaAccountant's
+     * bounded attribution rows) may use this; shared instruments are
+     * registered once and never removed.
+     * @return true when a counter row was removed.
+     */
+    bool removeCounter(const std::string& name, Labels labels);
+
     /** Lookup without creating; null when absent or kind-mismatched.
      *  Matches against the full label set including any base labels
      *  that were active when the instrument was registered. */
@@ -200,6 +212,10 @@ class MetricRegistry
     Entry& entry(const std::string& name, Labels labels, MetricKind kind);
     const Entry* find(const std::string& name, const Labels& labels,
                       MetricKind kind) const;
+
+    /** Stamp base labels (keys not already present) and canonicalize —
+     *  the identity transformation entry() applies at registration. */
+    Labels stamped(Labels labels) const;
 
     static Labels canonical(Labels l);
     static std::string key(const std::string& name, const Labels& l);

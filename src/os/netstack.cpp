@@ -36,9 +36,10 @@ NetStack::NetStack(topo::Machine& machine, nic::NicDevice& device,
     if (obs::Hub* h = obs::hub(sim_)) {
         obs::MetricRegistry& reg = h->metrics();
         const obs::Labels l = {{"dev", device_.name()}};
-        reg.counterFn("net_rx_packets", l, [this] { return rxPackets_; });
+        reg.counterFn("net_rx_packets", l,
+                      [this] { return rxPackets_.total(); });
         reg.counterFn("net_rx_bytes", l,
-                      [this] { return rxBytesDelivered_; });
+                      [this] { return rxBytesDelivered_.total(); });
         reg.counterFn("net_steering_updates", l,
                       [this] { return steeringUpdates_; });
         reg.counterFn("net_steering_expiries", l,
@@ -797,7 +798,7 @@ NetStack::softirqRx(int qid)
 
         q.rxCredits.release(frames); // replenish the Rx ring
         q.rxReaped += frames;
-        rxPackets_ += frames;
+        rxPackets_.add(frames);
         so_frames += frames;
 
         auto it = demux_.find(comp.frame.flow);
@@ -815,7 +816,7 @@ NetStack::softirqRx(int qid)
             s->rxBytesAvail += merged;
             if (last_flag)
                 ++s->rxMsgsAvail;
-            rxBytesDelivered_ += merged;
+            rxBytesDelivered_.add(merged);
             s->dataReady.notify();
         }
 

@@ -233,8 +233,11 @@ class NetStack : public nic::NicSink, public steer::SteerablePlane
     void resteerQueue(int qid, int pf_idx);
 
     // ------------------------------------------------------- statistics
-    std::uint64_t rxPacketsProcessed() const { return rxPackets_; }
-    std::uint64_t rxBytesDelivered() const { return rxBytesDelivered_; }
+    std::uint64_t rxPacketsProcessed() const { return rxPackets_.total(); }
+    std::uint64_t rxBytesDelivered() const
+    {
+        return rxBytesDelivered_.total();
+    }
     std::uint64_t unmatchedFrames() const { return unmatched_; }
     std::uint64_t steeringUpdates() const { return steeringUpdates_; }
     std::uint64_t steeringExpiries() const { return steeringExpiries_; }
@@ -332,8 +335,10 @@ class NetStack : public nic::NicSink, public steer::SteerablePlane
     std::unordered_map<nic::FiveTuple, Socket*> demux_;
     std::vector<std::unique_ptr<Socket>> sockets_;
 
-    std::uint64_t rxPackets_ = 0;
-    std::uint64_t rxBytesDelivered_ = 0;
+    // Softirq-hot counters shard per domain node (obs::ShardedCounter);
+    // readers fold the exact total.
+    obs::ShardedCounter rxPackets_{sim_};
+    obs::ShardedCounter rxBytesDelivered_{sim_};
     std::uint64_t unmatched_ = 0;
     std::uint64_t steeringUpdates_ = 0;
     std::uint64_t steeringExpiries_ = 0;

@@ -16,6 +16,7 @@
 
 #include "mem/cache.hpp"
 #include "obs/hub.hpp"
+#include "obs/sharded.hpp"
 #include "sim/pipe.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -353,11 +354,14 @@ class PciFunction
         const obs::Labels l = {
             {"dev", dev}, {"pf", pf}, {"node", std::to_string(node_)}};
         obs::MetricRegistry& reg = h->metrics();
-        obLocal_ = &reg.counter("dma_local_bytes", l);
-        obRemote_ = &reg.counter("dma_remote_bytes", l);
-        obCross_ = &reg.counter("interconnect_crossings", l);
-        obDdioHit_ = &reg.counter("ddio_hits", l);
-        obDdioMiss_ = &reg.counter("ddio_misses", l);
+        // The hot locality counters are sharded per scheduling-domain
+        // node; the registry rows read the exact aggregated total.
+        obLocal_.mirror(reg, "dma_local_bytes", l);
+        obRemote_.mirror(reg, "dma_remote_bytes", l);
+        obCross_.mirror(reg, "interconnect_crossings", l);
+        obDdioHit_.mirror(reg, "ddio_hits", l);
+        obDdioMiss_.mirror(reg, "ddio_misses", l);
+        obsOn_ = true;
         reg.counterFn("pcie_to_host_bytes", l,
                       [this] { return toHost_.totalBytes(); });
         reg.counterFn("pcie_from_host_bytes", l,
@@ -379,18 +383,18 @@ class PciFunction
     void
     recordDma(std::uint64_t bytes, int mem_node, bool ddio_hit)
     {
-        if (obLocal_ == nullptr)
+        if (!obsOn_)
             return;
         if (mem_node == node_) {
-            obLocal_->add(bytes);
+            obLocal_.add(bytes);
         } else {
-            obRemote_->add(bytes);
-            obCross_->add();
+            obRemote_.add(bytes);
+            obCross_.add();
         }
         if (ddio_hit)
-            obDdioHit_->add();
+            obDdioHit_.add();
         else
-            obDdioMiss_->add();
+            obDdioMiss_.add();
     }
 
     void
@@ -430,11 +434,15 @@ class PciFunction
                       (static_cast<std::uint64_t>(id_) << 8) ^
                       static_cast<std::uint64_t>(node_)};
 
-    obs::Counter* obLocal_ = nullptr;
-    obs::Counter* obRemote_ = nullptr;
-    obs::Counter* obCross_ = nullptr;
-    obs::Counter* obDdioHit_ = nullptr;
-    obs::Counter* obDdioMiss_ = nullptr;
+    // Locality/DDIO counters shard per domain node (obs::ShardedCounter)
+    // so the per-DMA hot path writes only a node-private leaf; the
+    // mirrored registry rows fold the exact total at export time.
+    bool obsOn_ = false;
+    obs::ShardedCounter obLocal_{host_.sim()};
+    obs::ShardedCounter obRemote_{host_.sim()};
+    obs::ShardedCounter obCross_{host_.sim()};
+    obs::ShardedCounter obDdioHit_{host_.sim()};
+    obs::ShardedCounter obDdioMiss_{host_.sim()};
     int tracePid_ = 0;
     int traceTid_ = 0;
 };

@@ -203,7 +203,7 @@ TEST(NicDevice, RxRingExhaustionDrops)
     for (int i = 0; i < 20; ++i)
         f.server.acceptFrame(f.frame(f.flow(), 1500, i));
     f.sim.run();
-    EXPECT_EQ(f.server.queue(qid).rxFrames, 8u);
+    EXPECT_EQ(f.server.queue(qid).rxFrames.total(), 8u);
     EXPECT_EQ(f.server.rxDrops(), 12u);
 }
 
@@ -230,7 +230,7 @@ TEST(NicDevice, TsoSegmentsOntoWire)
         co_await f.server.postTx(0, d);
     });
     f.sim.run();
-    EXPECT_EQ(f.client.queue(cq).rxFrames, 44u);
+    EXPECT_EQ(f.client.queue(cq).rxFrames.total(), 44u);
     EXPECT_TRUE(t.done());
 }
 

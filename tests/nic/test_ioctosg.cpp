@@ -85,7 +85,7 @@ TEST(IOctoSg, WireBytesIdenticalEitherWay)
         // ceil(65536/1500) = 44 frames reach the client regardless.
         std::uint64_t frames = 0;
         for (int q = 0; q < tb.clientNic().queueCount(); ++q)
-            frames += tb.clientNic().queue(q).rxFrames;
+            frames += tb.clientNic().queue(q).rxFrames.total();
         EXPECT_EQ(frames, 44u) << "octoSg=" << sg;
         EXPECT_TRUE(t.done());
     }

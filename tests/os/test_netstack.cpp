@@ -237,7 +237,7 @@ TEST(NetStack, NagleCoalescesSmallWrites)
     // ones.
     std::uint64_t frames = 0;
     for (int q = 0; q < tb.serverNic().queueCount(); ++q)
-        frames += tb.serverNic().queue(q).rxFrames;
+        frames += tb.serverNic().queue(q).rxFrames.total();
     EXPECT_LT(frames, 400u);
     EXPECT_GT(frames, 60u);
 }

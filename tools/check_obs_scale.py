@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Validate the bench_obs_scale sweep (obs_scale.csv).
+
+Checks the acceptance properties of the bounded attribution design:
+
+  1. Conservation: every pass reports conserved=1 (labeled rows +
+     ~other exactly equal the exact reference totals).
+  2. Bounded state: sketch modes hold resident_rows <= K and registry
+     label_rows <= K + 1 (the ~other row) at every flow count.
+  3. Flat cost: for each sketch mode, max/min ns_per_record across the
+     flow sweep stays within --tolerance (default 1.25: the 20% claim
+     plus wall-clock noise headroom).
+  4. The unbounded baseline's label_rows grow with the flow count
+     (>= min(flows, distinct keys touched) / 2), demonstrating what
+     the sketch replaces.
+
+Usage: check_obs_scale.py <obs_scale.csv> [--tolerance X]
+Exit code 0 when every check passes; 1 otherwise.
+"""
+
+import csv
+import sys
+from collections import defaultdict
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    tolerance = 1.25
+    for a in sys.argv[1:]:
+        if a.startswith("--tolerance"):
+            tolerance = float(a.split("=", 1)[1])
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+
+    with open(args[0], newline="") as f:
+        rows = list(csv.DictReader(f))
+    if not rows:
+        return fail("empty csv")
+
+    rc = 0
+    by_mode = defaultdict(list)
+    for r in rows:
+        r = {
+            k: (v if k == "mode" else float(v)) for k, v in r.items()
+        }
+        by_mode[r["mode"]].append(r)
+        if r["conserved"] != 1:
+            rc |= fail(
+                f"{r['mode']} flows={r['flows']:.0f} broke byte "
+                "conservation"
+            )
+
+    for mode, passes in sorted(by_mode.items()):
+        flows = [p["flows"] for p in passes]
+        if mode.startswith("sketch"):
+            for p in passes:
+                k = p["topk"]
+                if p["resident_rows"] > k:
+                    rc |= fail(
+                        f"{mode} flows={p['flows']:.0f}: resident "
+                        f"{p['resident_rows']:.0f} > K={k:.0f}"
+                    )
+                if p["label_rows"] > k + 1:
+                    rc |= fail(
+                        f"{mode} flows={p['flows']:.0f}: label rows "
+                        f"{p['label_rows']:.0f} > K+1={k + 1:.0f}"
+                    )
+            costs = [p["ns_per_record"] for p in passes]
+            ratio = max(costs) / min(costs)
+            span = f"{min(flows):.0f}..{max(flows):.0f}"
+            if ratio > tolerance:
+                rc |= fail(
+                    f"{mode}: ns/record varies {ratio:.2f}x across "
+                    f"flows {span} (> {tolerance}x)"
+                )
+            else:
+                print(
+                    f"ok: {mode} ns/record flat within {ratio:.2f}x "
+                    f"across flows {span}"
+                )
+        elif mode == "unbounded":
+            for p in passes:
+                # The churn workload touches at least half the
+                # universe; row-per-flow state must scale with it.
+                if p["label_rows"] < p["flows"] / 2:
+                    rc |= fail(
+                        f"unbounded flows={p['flows']:.0f}: only "
+                        f"{p['label_rows']:.0f} label rows — baseline "
+                        "is not exercising row growth"
+                    )
+            grown = ", ".join(
+                "%.0f" % p["label_rows"] for p in passes
+            )
+            print(f"ok: unbounded label rows grow with flows ({grown})")
+
+    if "sketch64" not in by_mode or "unbounded" not in by_mode:
+        rc |= fail("csv missing sketch64/unbounded passes")
+    if rc == 0:
+        print(f"ok: all {len(rows)} passes conserved bytes exactly")
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

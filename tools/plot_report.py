@@ -37,7 +37,21 @@ UNIT_LABEL = {
     "gbps": "throughput [Gb/s]",
     "per_s": "rate [1/s]",
     "value": "value",
+    "flow": "flow attribution [rows | evictions/s]",
 }
+
+
+def series_group(name, unit):
+    """Axis group for one series: flow-attribution tracks
+    (``flow_rows[...]``, ``flow_evictions_per_s[...]``) share a
+    dedicated subplot regardless of their native unit; everything else
+    groups by unit as before. Reports predating the flow tracks simply
+    never produce the extra axis."""
+    if name.startswith("flow_rows") or name.startswith(
+        "flow_evictions"
+    ):
+        return "flow"
+    return unit
 
 
 def load_report(path):
@@ -60,11 +74,14 @@ def collect(paths):
         for run in load_report(path):
             times = run.get("time_ms", [])
             for series in run.get("series", []):
-                label = f"{run.get('run', '?')}:{series.get('name')}"
+                name = series.get("name")
+                values = series.get("values", [])
+                if not name or not values:
+                    continue  # tolerate sparse/older reports
+                label = f"{run.get('run', '?')}:{name}"
                 if len(paths) > 1:
                     label = f"{path}:{label}"
-                unit = series.get("unit", "value")
-                values = series.get("values", [])
+                unit = series_group(name, series.get("unit", "value"))
                 n = min(len(times), len(values))
                 by_unit.setdefault(unit, []).append(
                     (label, times[:n], values[:n])
