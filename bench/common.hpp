@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "accmon/monitor.hpp"
+#include "accmon/scheme.hpp"
 #include "core/testbed.hpp"
 #include "obs/hub.hpp"
 #include "obs/sampler.hpp"
@@ -242,6 +244,24 @@ class ObsSession
                     obs::SampleUnit::PerSec);
             }
         }
+        // Opt-in (OCTO_SAMPLE_ACCMON=1): access-monitor self tracks —
+        // live region count (gauge) and scheme-action rate. Off by
+        // default so the standard report stays byte-comparable against
+        // goldens (same contract as OCTO_SAMPLE_FLOWS).
+        if (std::getenv("OCTO_SAMPLE_ACCMON") != nullptr) {
+            if (const accmon::AccessMonitor* am = tb.accessMonitor()) {
+                s.watchGauge("accmon_regions", [am] {
+                    return static_cast<double>(
+                        am->regions().regionCount());
+                });
+            }
+            if (const accmon::SchemeEngine* se = tb.schemeEngine()) {
+                s.watchRate(
+                    "accmon_scheme_applied_per_s",
+                    [se] { return se->appliedTotal(); },
+                    obs::SampleUnit::PerSec);
+            }
+        }
         // Opt-in (OCTO_SAMPLE_SIM=1): event-core throughput per
         // scheduling domain. Off by default so the standard report
         // stays byte-comparable against goldens.
@@ -296,6 +316,38 @@ class ObsSession
             std::make_unique<obs::Sampler>(sim, hub_, report_,
                                            opt_.samplePeriod);
         return sampler_.get();
+    }
+
+    /**
+     * Copy @p mon's interval snapshots into the current run's report
+     * section (the `regions` block that bumps the document schema to
+     * `octo.report.v2`). Call after the measurement window and before
+     * endRun() tears the testbed down. No-op when sampling is off,
+     * @p mon is null, or the monitor captured nothing.
+     */
+    void
+    harvestAccmon(const accmon::AccessMonitor* mon)
+    {
+        if (!sampling() || mon == nullptr)
+            return;
+        obs::RunData* run = report_.lastRun();
+        if (run == nullptr || mon->snapshots().empty())
+            return;
+        run->regionsDev = mon->dev();
+        for (const accmon::RegionSnapshot& snap : mon->snapshots()) {
+            obs::RegionSampleData out;
+            out.timeMs = snap.timeMs;
+            out.rows.reserve(snap.rows.size());
+            for (const accmon::RegionRow& row : snap.rows) {
+                obs::RegionRowData r;
+                r.lo = row.lo;
+                r.hi = row.hi;
+                r.rateGbps = row.rateGbps;
+                r.age = row.age;
+                out.rows.push_back(r);
+            }
+            run->regionSamples.push_back(std::move(out));
+        }
     }
 
     /** End the current run: the sampler dies (its task is scheduled on

@@ -332,6 +332,33 @@ PollPlane::steerFlow(const nic::FiveTuple& flow, int port_idx)
     device_.steerFlow(flow, ports_.at(port_idx)->qid());
 }
 
+bool
+PollPlane::placeFlow(const nic::FiveTuple& flow, int qid)
+{
+    if (qid < 0 || qid >= device_.queueCount())
+        return false;
+    if (portForQueue(qid) == nullptr)
+        return false; // nobody polls that queue — frames would rot
+    if (device_.classify(flow) == qid)
+        return true;
+    ++flowPlacements_;
+    device_.steerFlow(flow, qid);
+    return true;
+}
+
+void
+PollPlane::unplaceFlow(const nic::FiveTuple& flow)
+{
+    device_.unsteerFlow(flow);
+}
+
+bool
+PollPlane::queueDmaLocal(int qid) const
+{
+    const nic::NicQueue& q = device_.queue(qid);
+    return q.pf->linkUp() && q.pf->node() == q.bufNode;
+}
+
 std::uint64_t
 PollPlane::rxBytesTotal() const
 {

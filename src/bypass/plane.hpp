@@ -243,6 +243,21 @@ class PollPlane : public nic::NicSink, public steer::SteerablePlane
     sim::Task<bool> probe(int pf) override;
     std::uint64_t resteersPerformed() const override { return resteers_; }
 
+    // --------------------------- flow-grain placement (accmon schemes)
+    /** Scheme-driven placement: a direct rule write (a bypass app owns
+     *  its steering table — no kernel worker to model). */
+    bool placeFlow(const nic::FiveTuple& flow, int qid) override;
+    void unplaceFlow(const nic::FiveTuple& flow) override;
+    int
+    flowQueue(const nic::FiveTuple& flow) const override
+    {
+        return device_.classify(flow);
+    }
+    bool queueDmaLocal(int qid) const override;
+
+    /** Scheme-driven placeFlow() rules written. */
+    std::uint64_t flowPlacements() const { return flowPlacements_; }
+
   private:
     friend class PollPort;
 
@@ -264,6 +279,7 @@ class PollPlane : public nic::NicSink, public steer::SteerablePlane
     std::vector<double> pfWeights_;
 
     std::uint64_t resteers_ = 0;
+    std::uint64_t flowPlacements_ = 0;
     std::uint64_t adminDrains_ = 0;
     std::uint64_t watchdogFires_ = 0;
     std::uint64_t lostFrames_ = 0;

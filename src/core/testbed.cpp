@@ -113,6 +113,49 @@ Testbed::Testbed(const TestbedConfig& cfg) : cfg_(cfg)
             prober_->start();
         }
     }
+
+    // The region-based access monitor observes the server NIC's offered
+    // demand on every preset; the proactive scheme engine additionally
+    // needs a steerable plane to place flows on. Built after the health
+    // monitor so the standoff predicate can consult its verdicts.
+    if (cfg_.accessMonitor) {
+        accmon_ = std::make_unique<accmon::AccessMonitor>(
+            sim_, cfg_.hub, serverNic_->name(), cfg_.accmonCfg);
+        if (cfg_.accmonSchemes) {
+            steer::SteerablePlane* plane =
+                cfg_.bypass ? static_cast<steer::SteerablePlane*>(
+                                  serverPoll_.get())
+                            : (serverStacks_.empty()
+                                   ? nullptr
+                                   : serverStacks_.at(0).get());
+            if (plane != nullptr) {
+                schemeEngine_ = std::make_unique<accmon::SchemeEngine>(
+                    *plane,
+                    cfg_.schemes.empty() ? accmon::defaultSchemes()
+                                         : cfg_.schemes,
+                    cfg_.hub, serverNic_->name());
+                if (health::HealthMonitor* hm = monitor_.get()) {
+                    const int pfs = serverNic_->functionCount();
+                    const int qs = serverNic_->queueCount();
+                    schemeEngine_->setStandoff([hm, pfs, qs] {
+                        for (int p = 0; p < pfs; ++p) {
+                            if (hm->state(p) !=
+                                health::HealthState::Healthy)
+                                return true;
+                        }
+                        for (int q = 0; q < qs; ++q) {
+                            if (hm->queueSteeredAway(q))
+                                return true;
+                        }
+                        return false;
+                    });
+                }
+                accmon_->setEngine(schemeEngine_.get());
+            }
+        }
+        serverNic_->setAccessMonitor(accmon_.get());
+        accmon_->start();
+    }
 }
 
 Testbed::~Testbed() = default;

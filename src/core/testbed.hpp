@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "accmon/monitor.hpp"
+#include "accmon/scheme.hpp"
 #include "bypass/plane.hpp"
 #include "fault/injector.hpp"
 #include "fault/plan.hpp"
@@ -121,6 +123,26 @@ struct TestbedConfig
     /** Polled-datapath tunables (burst size, mempool headroom). */
     bypass::BypassConfig bypassCfg;
 
+    /** Attach a region-based access monitor (accmon::AccessMonitor) to
+     *  the *server* NIC: every classified Rx frame feeds the bounded
+     *  region map, snapshots/instruments export through the hub. Pure
+     *  observation unless accmonSchemes is also set. Works with every
+     *  preset, kernel or -poll. */
+    bool accessMonitor = false;
+
+    /** Monitor tunables (aggregation interval, region bounds). */
+    accmon::MonitorConfig accmonCfg;
+
+    /** Also drive quota-bounded proactive schemes against the server
+     *  plane (requires accessMonitor): hot flows are promoted to
+     *  DMA-local queues, idle placements demoted, the table capped.
+     *  When a HealthMonitor is attached too, schemes stand down while
+     *  any PF is non-Healthy (reactive verdicts win the plane). */
+    bool accmonSchemes = false;
+
+    /** Scheme list; empty uses accmon::defaultSchemes(). */
+    std::vector<accmon::SchemeConfig> schemes;
+
     /** Observability hub (metrics + tracing). Attached to the simulator
      *  before any component is built, so every layer registers its
      *  instruments. Null (the default) keeps observability fully off. */
@@ -187,6 +209,12 @@ class Testbed
     /** The differential prober; null unless configured. */
     health::DifferentialProber* prober() { return prober_.get(); }
 
+    /** The server-side access monitor; null unless configured. */
+    accmon::AccessMonitor* accessMonitor() { return accmon_.get(); }
+
+    /** The scheme engine; null unless accmonSchemes was configured. */
+    accmon::SchemeEngine* schemeEngine() { return schemeEngine_.get(); }
+
     /**
      * The node the server workload should run on for this preset:
      * the NIC's node for Local, the other one for Remote. For Ioctopus
@@ -243,6 +271,8 @@ class Testbed
     std::unique_ptr<fault::Injector> injector_;
     std::unique_ptr<health::HealthMonitor> monitor_;
     std::unique_ptr<health::DifferentialProber> prober_;
+    std::unique_ptr<accmon::AccessMonitor> accmon_;
+    std::unique_ptr<accmon::SchemeEngine> schemeEngine_;
 
     std::uint16_t nextPort_ = 2000;
 };

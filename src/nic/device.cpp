@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "accmon/monitor.hpp"
+
 namespace octo::nic {
 
 NicDevice::NicDevice(topo::Machine& host, std::string name)
@@ -155,6 +157,8 @@ NicDevice::rxPath(Frame f)
 {
     f.arrivedAt = sim_.now(); // Opens the e2e latency span.
     const int qid = classify(f.flow);
+    if (accmon_ != nullptr)
+        accmon_->record(f.flow, f.payloadBytes, qid);
     NicQueue& q = *queues_.at(qid);
     if (!q.pf->linkUp()) {
         // Surprise-removed endpoint: the DMA cannot be issued and the

@@ -40,6 +40,10 @@
 #include "sim/task.hpp"
 #include "topo/machine.hpp"
 
+namespace octo::accmon {
+class AccessMonitor;
+}
+
 namespace octo::nic {
 
 using sim::Task;
@@ -157,6 +161,10 @@ class NicDevice
     void connect(Wire& wire) { wire_ = &wire; }
 
     void setSink(NicSink* sink) { sink_ = sink; }
+
+    /** Attach a region-grain access monitor; every classified Rx frame
+     *  is reported (offered demand, before drop checks). Null detaches. */
+    void setAccessMonitor(accmon::AccessMonitor* mon) { accmon_ = mon; }
 
     /** Rx interrupt coalescing delay (0 disables coalescing). */
     void setRxCoalesce(Tick t) { rxCoalesce_ = t; }
@@ -363,6 +371,7 @@ class NicDevice
 
     Wire* wire_ = nullptr;
     NicSink* sink_ = nullptr;
+    accmon::AccessMonitor* accmon_ = nullptr;
     bool octoSg_ = false;
     bool bondMode_ = false;
     Tick rxCoalesce_ = 0;

@@ -47,6 +47,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -69,15 +70,16 @@ class DmaAccountant
     DmaAccountant(Hub* hub, std::string dev, int top_k = 0)
         : reg_(hub != nullptr ? &hub->metrics() : nullptr),
           dev_(std::move(dev)),
+          exact_(top_k <= 0 && exactRequested()),
           sketch_(static_cast<std::size_t>(
-              top_k > 0 ? top_k : defaultTopK())),
+              top_k > 0 ? top_k : (exact_ ? 1 : defaultTopK()))),
           timed_(envOn("OCTO_OBS_SELFCOST"))
     {
         if (reg_ == nullptr)
             return;
         const Labels l = {{"dev", dev_}};
         reg_->gaugeFn("flow_rows", l, [this] {
-            return static_cast<double>(sketch_.size());
+            return static_cast<double>(flowCount());
         });
         reg_->counterFn("flow_evictions_total", l,
                         [this] { return sketch_.evictions(); });
@@ -86,7 +88,7 @@ class DmaAccountant
         reg_->counterFn("obs_attr_ns_total", l,
                         [this] { return selfNs_; });
         reg_->gaugeFn("flow_topk", l, [this] {
-            return static_cast<double>(sketch_.capacity());
+            return static_cast<double>(topK());
         });
     }
 
@@ -111,21 +113,34 @@ class DmaAccountant
         const std::uint64_t t0 = timed_ ? nowNs() : 0;
         ++records_;
 
-        Sketch::Outcome out;
-        Sketch::Entry displaced;
-        Sketch::Entry& e = sketch_.update(key, bytes, out, displaced);
-        switch (out) {
-          case Sketch::Outcome::Updated:
-            break;
-          case Sketch::Outcome::Replaced:
-            fold(displaced.payload);
-            [[fallthrough]];
-          case Sketch::Outcome::Admitted:
-            e.payload.label = label();
-            e.payload.row = makeRow("flow", e.payload.label);
-            break;
+        if (exact_) {
+            // OCTO_FLOW_TOPK=0: sketch disabled, one exact row per
+            // flow, unbounded — no evictions, no ~other, no error.
+            auto it = exactRows_.find(key);
+            if (it == exactRows_.end()) {
+                it = exactRows_.emplace(key, FlowCell{}).first;
+                it->second.label = label();
+                it->second.row = makeRow("flow", it->second.label);
+            }
+            apply(it->second, bytes, local, ddio_hit);
+        } else {
+            Sketch::Outcome out;
+            Sketch::Entry displaced;
+            Sketch::Entry& e =
+                sketch_.update(key, bytes, out, displaced);
+            switch (out) {
+              case Sketch::Outcome::Updated:
+                break;
+              case Sketch::Outcome::Replaced:
+                fold(displaced.payload);
+                [[fallthrough]];
+              case Sketch::Outcome::Admitted:
+                e.payload.label = label();
+                e.payload.row = makeRow("flow", e.payload.label);
+                break;
+            }
+            apply(e.payload, bytes, local, ddio_hit);
         }
-        apply(e.payload, bytes, local, ddio_hit);
 
         if (tenant >= 0)
             applyRow(tenantRow(tenant), bytes, local, ddio_hit);
@@ -133,13 +148,27 @@ class DmaAccountant
             selfNs_ += nowNs() - t0;
     }
 
-    /** Resident attribution rows (sketch occupancy, <= topK()). */
-    std::size_t flowCount() const { return sketch_.size(); }
+    /** Resident attribution rows: sketch occupancy (<= topK()), or
+     *  the exact flow count in exact mode. */
+    std::size_t
+    flowCount() const
+    {
+        return exact_ ? exactRows_.size() : sketch_.size();
+    }
 
-    /** Flows displaced from the sketch into the ~other row. */
+    /** Flows displaced from the sketch into the ~other row (always 0
+     *  in exact mode — nothing is ever displaced). */
     std::uint64_t evictions() const { return sketch_.evictions(); }
 
-    int topK() const { return static_cast<int>(sketch_.capacity()); }
+    /** Sketch capacity; 0 means exact (unbounded) mode. */
+    int
+    topK() const
+    {
+        return exact_ ? 0 : static_cast<int>(sketch_.capacity());
+    }
+
+    /** OCTO_FLOW_TOPK=0 exact mode in effect on this accountant. */
+    bool exactMode() const { return exact_; }
 
     /** Attribution calls accepted (both sketch and rollup paths). */
     std::uint64_t selfRecords() const { return records_; }
@@ -160,6 +189,18 @@ class DmaAccountant
                 return k;
         }
         return kDefaultTopK;
+    }
+
+    /** True when OCTO_FLOW_TOPK is exactly "0": disable the sketch and
+     *  keep one exact row per flow, unbounded. Debug scales only —
+     *  state grows with live-flow count, which is the very cost the
+     *  sketch exists to avoid. Garbage values still mean the default
+     *  capacity, not exact mode. */
+    static bool
+    exactRequested()
+    {
+        const char* env = std::getenv("OCTO_FLOW_TOPK");
+        return env != nullptr && std::strcmp(env, "0") == 0;
     }
 
   private:
@@ -311,7 +352,9 @@ class DmaAccountant
 
     MetricRegistry* reg_;
     std::string dev_;
+    bool exact_;
     Sketch sketch_;
+    std::unordered_map<std::uint64_t, FlowCell> exactRows_;
     Row other_;
     std::unordered_map<int, Row> tenants_;
     std::uint64_t records_ = 0;

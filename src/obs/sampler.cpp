@@ -25,6 +25,15 @@ appendMs(std::string& out, double ms)
     out += buf;
 }
 
+void
+appendU64(std::string& out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%llu",
+                  static_cast<unsigned long long>(v));
+    out += buf;
+}
+
 } // namespace
 
 const char*
@@ -55,7 +64,12 @@ Report::addRun(std::string run, sim::Tick start_at, sim::Tick period)
 std::string
 Report::jsonText() const
 {
-    std::string out = "{\"schema\":\"octo.report.v1\",\"runs\":[";
+    bool v2 = false;
+    for (const RunData& r : runs_)
+        v2 = v2 || !r.regionSamples.empty();
+    std::string out = "{\"schema\":\"";
+    out += v2 ? "octo.report.v2" : "octo.report.v1";
+    out += "\",\"runs\":[";
     bool first_run = true;
     for (const RunData& r : runs_) {
         if (!first_run)
@@ -91,7 +105,39 @@ Report::jsonText() const
             }
             out += "]}";
         }
-        out += "]}";
+        out += ']';
+        if (!r.regionSamples.empty()) {
+            out += ",\"regions\":{\"dev\":\"";
+            out += r.regionsDev;
+            out += "\",\"samples\":[";
+            bool first_snap = true;
+            for (const RegionSampleData& snap : r.regionSamples) {
+                if (!first_snap)
+                    out += ',';
+                first_snap = false;
+                out += "\n{\"time_ms\":";
+                appendMs(out, snap.timeMs);
+                out += ",\"rows\":[";
+                for (std::size_t i = 0; i < snap.rows.size(); ++i) {
+                    const RegionRowData& row = snap.rows[i];
+                    if (i > 0)
+                        out += ',';
+                    out += "{\"lo\":";
+                    appendU64(out, row.lo);
+                    out += ",\"hi\":";
+                    appendU64(out, row.hi);
+                    out += ",\"rate_gbps\":";
+                    appendDouble(out, row.rateGbps);
+                    out += ",\"age\":";
+                    appendU64(out, static_cast<std::uint64_t>(
+                                       row.age < 0 ? 0 : row.age));
+                    out += '}';
+                }
+                out += "]}";
+            }
+            out += "]}";
+        }
+        out += '}';
     }
     out += "]}";
     return out;
@@ -108,6 +154,17 @@ Report::writeCsv(std::FILE* out) const
                              s.name.c_str(), sampleUnitName(s.unit),
                              i < r.timesMs.size() ? r.timesMs[i] : 0.0,
                              s.values[i]);
+            }
+        }
+        // Region snapshots export long-format too: one row per region
+        // per interval, series keyed by the region's range start (its
+        // identity for as long as no split/merge moves the boundary).
+        for (const RegionSampleData& snap : r.regionSamples) {
+            for (const RegionRowData& row : snap.rows) {
+                std::fprintf(out, "%s,region:%llu,gbps,%.3f,%.9g\n",
+                             r.run.c_str(),
+                             static_cast<unsigned long long>(row.lo),
+                             snap.timeMs, row.rateGbps);
             }
         }
     }

@@ -55,6 +55,22 @@ struct SeriesData
     std::vector<double> values;
 };
 
+/** One region row of one access-monitor interval snapshot. */
+struct RegionRowData
+{
+    std::uint64_t lo = 0; ///< Flow-hash range, inclusive.
+    std::uint64_t hi = 0;
+    double rateGbps = 0;
+    int age = 0; ///< Intervals since last split/merge touched it.
+};
+
+/** One access-monitor aggregation interval: the region map snapshot. */
+struct RegionSampleData
+{
+    double timeMs = 0;
+    std::vector<RegionRowData> rows;
+};
+
 /** All curves of one bench pass (one preset against the shared hub). */
 struct RunData
 {
@@ -63,6 +79,12 @@ struct RunData
     sim::Tick period = 0;
     std::vector<double> timesMs; ///< Window-end timestamps.
     std::vector<SeriesData> series;
+
+    /** Region-monitor snapshots harvested after the run (empty unless
+     *  an accmon::AccessMonitor was attached). Non-empty samples bump
+     *  the document schema to `octo.report.v2`. */
+    std::string regionsDev;
+    std::vector<RegionSampleData> regionSamples;
 };
 
 /**
@@ -82,8 +104,17 @@ class Report
 
     const std::vector<RunData>& runs() const { return runs_; }
 
-    /** The document as JSON (schema `octo.report.v1`), deterministic
-     *  byte-for-byte across identical runs. */
+    /** The most recently added run (for post-run region harvest);
+     *  nullptr before the first addRun(). */
+    RunData* lastRun()
+    {
+        return runs_.empty() ? nullptr : &runs_.back();
+    }
+
+    /** The document as JSON, deterministic byte-for-byte across
+     *  identical runs. Schema is `octo.report.v1` unless some run
+     *  carries region snapshots, which adds a `regions` section per
+     *  such run and bumps the schema to `octo.report.v2`. */
     std::string jsonText() const;
 
     /** Long-format CSV: run,series,unit,time_ms,value. */

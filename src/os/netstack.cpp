@@ -955,4 +955,30 @@ NetStack::applySteer(nic::FiveTuple flow, int old_qid, int new_qid)
     device_.steerFlow(flow, new_qid);
 }
 
+bool
+NetStack::placeFlow(const nic::FiveTuple& flow, int qid)
+{
+    if (qid < 0 || qid >= device_.queueCount())
+        return false;
+    const int old_qid = device_.classify(flow);
+    if (old_qid == qid)
+        return true;
+    ++flowPlacements_;
+    applySteer(flow, old_qid, qid).detach();
+    return true;
+}
+
+void
+NetStack::unplaceFlow(const nic::FiveTuple& flow)
+{
+    device_.unsteerFlow(flow);
+}
+
+bool
+NetStack::queueDmaLocal(int qid) const
+{
+    const nic::NicQueue& q = device_.queue(qid);
+    return q.pf->linkUp() && q.pf->node() == q.bufNode;
+}
+
 } // namespace octo::os

@@ -232,6 +232,24 @@ class NetStack : public nic::NicSink, public steer::SteerablePlane
      */
     void resteerQueue(int qid, int pf_idx);
 
+    // --------------------------- flow-grain placement (accmon schemes)
+    /** Scheme-driven placement: program @p flow onto queue @p qid
+     *  through the same asynchronous kernel-worker path ARFS updates
+     *  use (update delay + old-queue drain), so proactive moves pay
+     *  the reactive path's costs. */
+    bool placeFlow(const nic::FiveTuple& flow, int qid) override;
+
+    /** Drop the placement rule; the flow falls back to RSS. */
+    void unplaceFlow(const nic::FiveTuple& flow) override;
+
+    int
+    flowQueue(const nic::FiveTuple& flow) const override
+    {
+        return device_.classify(flow);
+    }
+
+    bool queueDmaLocal(int qid) const override;
+
     // ------------------------------------------------------- statistics
     std::uint64_t rxPacketsProcessed() const { return rxPackets_.total(); }
     std::uint64_t rxBytesDelivered() const
@@ -241,6 +259,9 @@ class NetStack : public nic::NicSink, public steer::SteerablePlane
     std::uint64_t unmatchedFrames() const { return unmatched_; }
     std::uint64_t steeringUpdates() const { return steeringUpdates_; }
     std::uint64_t steeringExpiries() const { return steeringExpiries_; }
+
+    /** Scheme-driven placeFlow() moves actually dispatched. */
+    std::uint64_t flowPlacements() const { return flowPlacements_; }
 
     /** Queues failed over to a surviving PF / rebalanced back home. */
     std::uint64_t pfFailovers() const { return pfFailovers_.value(); }
@@ -342,6 +363,7 @@ class NetStack : public nic::NicSink, public steer::SteerablePlane
     std::uint64_t unmatched_ = 0;
     std::uint64_t steeringUpdates_ = 0;
     std::uint64_t steeringExpiries_ = 0;
+    std::uint64_t flowPlacements_ = 0;
     sim::Task<> expiry_;
     sim::Task<> retry_;
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "nic/flow.hpp"
 #include "sim/task.hpp"
 #include "steer/endpoint.hpp"
 
@@ -135,6 +136,46 @@ class SteerablePlane
 
     /** Endpoint rebinds actually performed (not superseded/no-op). */
     virtual std::uint64_t resteersPerformed() const = 0;
+
+    // -------------------------- flow-grain placement (accmon schemes)
+    /**
+     * Proactively pin @p flow's receive path to queue @p qid (an
+     * access-monitor scheme promoting a hot flow to a DMA-local
+     * queue). Implementations reuse their own steering machinery —
+     * the kernel plane's asynchronous drain-then-program worker, the
+     * bypass plane's direct rule write — so placement pays the same
+     * model costs as reactive steering. Default: not supported.
+     * @return false when the plane cannot place flows (or @p qid is
+     * not a valid target).
+     */
+    virtual bool
+    placeFlow(const nic::FiveTuple& flow, int qid)
+    {
+        (void)flow;
+        (void)qid;
+        return false;
+    }
+
+    /** Remove a placeFlow() rule; the flow falls back to RSS. */
+    virtual void unplaceFlow(const nic::FiveTuple& flow) { (void)flow; }
+
+    /** Queue @p flow's frames are classified to right now (-1 when
+     *  unknown). */
+    virtual int
+    flowQueue(const nic::FiveTuple& flow) const
+    {
+        (void)flow;
+        return -1;
+    }
+
+    /** True when queue @p qid's DMA currently lands on the same NUMA
+     *  node its buffers live on (the promote-target predicate). */
+    virtual bool
+    queueDmaLocal(int qid) const
+    {
+        (void)qid;
+        return false;
+    }
 };
 
 } // namespace octo::steer

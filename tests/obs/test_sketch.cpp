@@ -248,6 +248,62 @@ TEST(DmaAccountant, SketchSizeDoesNotPerturbResults)
     EXPECT_EQ(off, huge);
 }
 
+TEST(DmaAccountant, TopkZeroDisablesSketchForExactRows)
+{
+    // OCTO_FLOW_TOPK=0 opts out of the sketch entirely: one exact row
+    // per flow, no evictions, no ~other folding — and conservation
+    // holds trivially because nothing is ever displaced.
+    setenv("OCTO_FLOW_TOPK", "0", 1);
+    Hub hub;
+    DmaAccountant acc(&hub, "nic0");
+    unsetenv("OCTO_FLOW_TOPK");
+
+    ASSERT_TRUE(acc.exactMode());
+    EXPECT_EQ(acc.topK(), 0);
+
+    constexpr int kFlows = 500;
+    std::uint64_t local_ref = 0, remote_ref = 0;
+    sim::Rng rng(11);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t key = rng.below(kFlows);
+        const std::uint64_t bytes = 64 + rng.below(1400);
+        const bool local = rng.chance(0.5);
+        acc.record(key, [key] { return "f" + std::to_string(key); },
+                   bytes, local, local);
+        (local ? local_ref : remote_ref) += bytes;
+    }
+
+    // Every live key owns its own row; nothing churned.
+    EXPECT_EQ(acc.flowCount(), static_cast<std::size_t>(kFlows));
+    EXPECT_EQ(acc.evictions(), 0u);
+
+    MetricRegistry& reg = hub.metrics();
+    const Labels dev = {{"dev", "nic0"}};
+    EXPECT_EQ(reg.sumCounters("flow_dma_local_bytes", dev), local_ref);
+    EXPECT_EQ(reg.sumCounters("flow_dma_remote_bytes", dev),
+              remote_ref);
+    EXPECT_EQ(reg.sumCounters("flow_dma_local_bytes",
+                              {{"dev", "nic0"}, {"flow", "~other"}}),
+              0u)
+        << "exact mode must never fold into ~other";
+    // The meta gauges advertise the mode: unbounded rows, capacity 0.
+    EXPECT_EQ(reg.findGauge("flow_rows", dev)->value(),
+              static_cast<double>(kFlows));
+    EXPECT_EQ(reg.findGauge("flow_topk", dev)->value(), 0.0);
+}
+
+TEST(DmaAccountant, TopkGarbageStillMeansDefaultCapacity)
+{
+    // Only the literal "0" selects exact mode; unparsable values fall
+    // back to the built-in capacity instead of silently unbounding.
+    setenv("OCTO_FLOW_TOPK", "bogus", 1);
+    Hub hub;
+    DmaAccountant acc(&hub, "nic0");
+    unsetenv("OCTO_FLOW_TOPK");
+    EXPECT_FALSE(acc.exactMode());
+    EXPECT_EQ(acc.topK(), DmaAccountant::kDefaultTopK);
+}
+
 TEST(DmaAccountant, FlowRowsMatchPfRowsOnTestbed)
 {
     // Conservation at system grain: the NIC's flow-grain byte rows
